@@ -1,0 +1,101 @@
+// Command libench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	libench -exp fig10                # one experiment at default scale
+//	libench -exp all -n 100000        # everything, smaller
+//	libench -list                     # show available experiments
+//
+// Scale note: the paper runs 200M-800M keys on a dual-socket Optane
+// server; the defaults here are 200k-800k so a laptop regenerates every
+// shape in minutes. Use -n / -sizes to push further.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"learnedpieces/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		n       = flag.Int("n", 200_000, "base dataset size")
+		sizes   = flag.String("sizes", "", "comma-separated size sweep (default n,2n,4n)")
+		threads = flag.String("threads", "1,2,4,8", "comma-separated thread sweep")
+		ops     = flag.Int("ops", 0, "requests per measured phase (default n)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		pm      = flag.Bool("pmem", true, "simulate NVM latency in the KV store")
+		vs      = flag.Int("valuesize", 200, "record value size in bytes")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig(os.Stdout)
+	cfg.N = *n
+	cfg.Seed = *seed
+	cfg.PMemLatency = *pm
+	cfg.ValueSize = *vs
+	cfg.CSV = *csv
+	cfg.Ops = *ops
+	if cfg.Ops <= 0 {
+		cfg.Ops = *n
+	}
+	if *sizes != "" {
+		cfg.Sizes = parseInts(*sizes)
+	} else {
+		cfg.Sizes = []int{*n, 2 * *n, 4 * *n}
+	}
+	cfg.Threads = parseInts(*threads)
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		e, ok := bench.Get(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		run(e)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad integer list %q\n", s)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

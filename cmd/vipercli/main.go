@@ -1,0 +1,143 @@
+// Command vipercli is a small interactive/batch shell over the Viper
+// store for manual poking: put/get/del/scan/stats/crash/recover.
+//
+//	vipercli -index alex
+//	> put 42 hello
+//	> get 42
+//	> scan 0 10
+//	> crash
+//	> recover
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"learnedpieces/internal/core"
+	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/viper"
+)
+
+func main() {
+	var (
+		indexName = flag.String("index", "alex", "volatile index (see libench -list / Table I names)")
+		size      = flag.Int("mem", 256<<20, "simulated PMem bytes")
+		latency   = flag.Bool("pmem", false, "simulate NVM latency")
+	)
+	flag.Parse()
+
+	entry, ok := core.Lookup(*indexName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
+		os.Exit(2)
+	}
+	lat := pmem.None()
+	if *latency {
+		lat = pmem.Optane()
+	}
+	region := pmem.NewRegion(*size, lat)
+	store := viper.Open(region, entry.New())
+	fmt.Printf("viper store with %s index over %d MB simulated PMem\n", *indexName, *size>>20)
+	fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> <n> | len | stats | crash | recover | quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("bad key:", err)
+				continue
+			}
+			if err := store.Put(k, []byte(fields[2])); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("bad key:", err)
+				continue
+			}
+			if v, ok := store.Get(k); ok {
+				fmt.Printf("%q\n", v)
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("bad key:", err)
+				continue
+			}
+			ok, err := store.Delete(k)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("deleted:", ok)
+			}
+		case "scan":
+			if len(fields) != 3 {
+				fmt.Println("usage: scan <start> <n>")
+				continue
+			}
+			start, err1 := strconv.ParseUint(fields[1], 10, 64)
+			n, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("bad arguments")
+				continue
+			}
+			err := store.Scan(start, n, func(k uint64, v []byte) bool {
+				fmt.Printf("  %d -> %q\n", k, v)
+				return true
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		case "len":
+			fmt.Println(store.Len())
+		case "stats":
+			reads, writes, flushes := region.Stats()
+			st, wk, wkv := store.Sizes()
+			fmt.Printf("pmem: %d reads, %d writes, %d flushes, %d/%d bytes allocated\n",
+				reads, writes, flushes, region.Allocated(), region.Size())
+			fmt.Printf("sizes: index=%d index+key=%d index+KV=%d\n", st, wk, wkv)
+		case "crash":
+			store.DropIndex(entry.New())
+			fmt.Println("DRAM index dropped; reads will miss until 'recover'")
+		case "recover":
+			if err := store.Recover(entry.New()); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("recovered %d keys\n", store.Len())
+			}
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}

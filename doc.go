@@ -1,0 +1,11 @@
+// Package learnedpieces reproduces "Cutting Learned Index into Pieces:
+// An In-depth Inquiry into Updatable Learned Indexes" (ICDE 2023) in pure
+// Go: six learned indexes (RMI, RadixSpline, FITing-tree, PGM-Index,
+// ALEX, XIndex), traditional baselines, a Viper-style NVM key-value store
+// as the fair end-to-end environment, and the paper's four-dimension
+// decomposition of updatable learned indexes as a composable API
+// (internal/core).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package learnedpieces

@@ -1,0 +1,3 @@
+module learnedpieces
+
+go 1.22

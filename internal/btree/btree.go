@@ -1,0 +1,351 @@
+// Package btree implements an in-memory B+tree in the style of STX
+// B-Tree: fixed-capacity array nodes, linked leaves for range scans, and
+// a bottom-up bulk loader. It is the traditional sorted-index baseline of
+// the paper's end-to-end evaluation.
+package btree
+
+import (
+	"sort"
+	"unsafe"
+
+	"learnedpieces/internal/index"
+)
+
+const (
+	leafCap  = 64 // entries per leaf
+	innerCap = 32 // keys per inner node (children = keys+1)
+)
+
+type leaf struct {
+	n    int
+	next *leaf
+	keys [leafCap]uint64
+	vals [leafCap]uint64
+}
+
+type inner struct {
+	n    int // number of keys; children in kids[:n+1]
+	keys [innerCap]uint64
+	kids [innerCap + 1]interface{}
+}
+
+// BTree is a B+tree mapping uint64 keys to uint64 values. Not safe for
+// concurrent mutation; concurrent reads are safe once loaded.
+type BTree struct {
+	root   interface{}
+	height int // number of levels; 1 = root is a leaf
+	length int
+	inners int
+	leaves int
+}
+
+// New returns an empty B+tree.
+func New() *BTree {
+	l := &leaf{}
+	return &BTree{root: l, height: 1, leaves: 1}
+}
+
+// Name implements index.Index.
+func (t *BTree) Name() string { return "btree" }
+
+// Len returns the number of stored entries.
+func (t *BTree) Len() int { return t.length }
+
+// ConcurrentReads reports that concurrent Gets are safe.
+func (t *BTree) ConcurrentReads() bool { return true }
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner:
+			n = x.kids[upperBound(x.keys[:x.n], key)]
+		case *leaf:
+			i := lowerBound(x.keys[:x.n], key)
+			if i < x.n && x.keys[i] == key {
+				return x.vals[i], true
+			}
+			return 0, false
+		}
+	}
+}
+
+// upperBound returns the index of the first element > key.
+func upperBound(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// lowerBound returns the index of the first element >= key.
+func lowerBound(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
+}
+
+// Floor returns the entry with the greatest key <= key, used when the
+// tree indexes segment start keys (FITing-tree's inner structure). The
+// descent records every left sibling so the predecessor is found even
+// when lazy deletion has emptied whole leaves or subtrees on the way.
+func (t *BTree) Floor(key uint64) (uint64, uint64, bool) {
+	type frame struct {
+		in *inner
+		ci int
+	}
+	var stack []frame
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner:
+			ci := upperBound(x.keys[:x.n], key)
+			stack = append(stack, frame{x, ci})
+			n = x.kids[ci]
+		case *leaf:
+			if i := upperBound(x.keys[:x.n], key); i > 0 {
+				return x.keys[i-1], x.vals[i-1], true
+			}
+			// This leaf holds nothing <= key: fall back to the nearest
+			// non-empty subtree to the left of the descent path.
+			for s := len(stack) - 1; s >= 0; s-- {
+				for j := stack[s].ci - 1; j >= 0; j-- {
+					if k, v, ok := maxOf(stack[s].in.kids[j]); ok {
+						return k, v, true
+					}
+				}
+			}
+			return 0, 0, false
+		}
+	}
+}
+
+// maxOf returns the rightmost entry of a subtree, skipping leaves that
+// lazy deletion emptied.
+func maxOf(n interface{}) (uint64, uint64, bool) {
+	switch x := n.(type) {
+	case *inner:
+		for i := x.n; i >= 0; i-- {
+			if k, v, ok := maxOf(x.kids[i]); ok {
+				return k, v, ok
+			}
+		}
+		return 0, 0, false
+	case *leaf:
+		if x.n == 0 {
+			return 0, 0, false
+		}
+		return x.keys[x.n-1], x.vals[x.n-1], true
+	}
+	return 0, 0, false
+}
+
+// Insert stores value under key, replacing any existing value.
+func (t *BTree) Insert(key, value uint64) error {
+	midKey, newRight := t.insert(t.root, t.height, key, value)
+	if newRight != nil {
+		r := &inner{n: 1}
+		r.keys[0] = midKey
+		r.kids[0] = t.root
+		r.kids[1] = newRight
+		t.root = r
+		t.height++
+		t.inners++
+	}
+	return nil
+}
+
+// insert descends to the leaf; on split it returns the separator key and
+// the new right sibling, else (0, nil).
+func (t *BTree) insert(n interface{}, level int, key, value uint64) (uint64, interface{}) {
+	if level == 1 {
+		return t.insertLeaf(n.(*leaf), key, value)
+	}
+	x := n.(*inner)
+	ci := upperBound(x.keys[:x.n], key)
+	midKey, newRight := t.insert(x.kids[ci], level-1, key, value)
+	if newRight == nil {
+		return 0, nil
+	}
+	if x.n < innerCap {
+		insertInner(x, ci, midKey, newRight)
+		return 0, nil
+	}
+	// Split the inner node, then insert into the correct half.
+	half := x.n / 2
+	sep := x.keys[half]
+	right := &inner{n: x.n - half - 1}
+	copy(right.keys[:], x.keys[half+1:x.n])
+	copy(right.kids[:], x.kids[half+1:x.n+1])
+	for i := half; i < x.n; i++ {
+		x.kids[i+1] = nil
+	}
+	x.n = half
+	t.inners++
+	if midKey < sep {
+		insertInner(x, upperBound(x.keys[:x.n], midKey), midKey, newRight)
+	} else {
+		insertInner(right, upperBound(right.keys[:right.n], midKey), midKey, newRight)
+	}
+	return sep, right
+}
+
+func insertInner(x *inner, at int, key uint64, kid interface{}) {
+	copy(x.keys[at+1:x.n+1], x.keys[at:x.n])
+	copy(x.kids[at+2:x.n+2], x.kids[at+1:x.n+1])
+	x.keys[at] = key
+	x.kids[at+1] = kid
+	x.n++
+}
+
+func (t *BTree) insertLeaf(l *leaf, key, value uint64) (uint64, interface{}) {
+	i := lowerBound(l.keys[:l.n], key)
+	if i < l.n && l.keys[i] == key {
+		l.vals[i] = value
+		return 0, nil
+	}
+	if l.n < leafCap {
+		copy(l.keys[i+1:l.n+1], l.keys[i:l.n])
+		copy(l.vals[i+1:l.n+1], l.vals[i:l.n])
+		l.keys[i] = key
+		l.vals[i] = value
+		l.n++
+		t.length++
+		return 0, nil
+	}
+	// Split, then insert into the proper half.
+	half := l.n / 2
+	right := &leaf{n: l.n - half, next: l.next}
+	copy(right.keys[:], l.keys[half:l.n])
+	copy(right.vals[:], l.vals[half:l.n])
+	l.n = half
+	l.next = right
+	t.leaves++
+	if key < right.keys[0] {
+		t.insertLeaf(l, key, value)
+	} else {
+		t.insertLeaf(right, key, value)
+	}
+	return right.keys[0], right
+}
+
+// Delete removes key (lazy: leaves are never merged) and reports whether
+// it was present.
+func (t *BTree) Delete(key uint64) bool {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner:
+			n = x.kids[upperBound(x.keys[:x.n], key)]
+		case *leaf:
+			i := lowerBound(x.keys[:x.n], key)
+			if i >= x.n || x.keys[i] != key {
+				return false
+			}
+			copy(x.keys[i:x.n-1], x.keys[i+1:x.n])
+			copy(x.vals[i:x.n-1], x.vals[i+1:x.n])
+			x.n--
+			t.length--
+			return true
+		}
+	}
+}
+
+// Scan visits entries with key >= start in order, up to n entries
+// (n <= 0 for unlimited), stopping early when fn returns false.
+func (t *BTree) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	node := t.root
+	for {
+		x, ok := node.(*inner)
+		if !ok {
+			break
+		}
+		node = x.kids[upperBound(x.keys[:x.n], start)]
+	}
+	l := node.(*leaf)
+	count := 0
+	for l != nil {
+		for i := lowerBound(l.keys[:l.n], start); i < l.n; i++ {
+			if n > 0 && count >= n {
+				return
+			}
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+			count++
+		}
+		start = 0
+		l = l.next
+	}
+}
+
+// BulkLoad builds the tree bottom-up from sorted distinct keys. The tree
+// must be empty.
+func (t *BTree) BulkLoad(keys, values []uint64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	// Build leaves at ~90% fill so early inserts do not immediately split.
+	fill := leafCap * 9 / 10
+	var leaves []*leaf
+	var firsts []uint64
+	for start := 0; start < len(keys); start += fill {
+		end := start + fill
+		if end > len(keys) {
+			end = len(keys)
+		}
+		l := &leaf{n: end - start}
+		copy(l.keys[:], keys[start:end])
+		if values != nil {
+			copy(l.vals[:], values[start:end])
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = l
+		}
+		leaves = append(leaves, l)
+		firsts = append(firsts, keys[start])
+	}
+	t.leaves = len(leaves)
+	t.length = len(keys)
+	t.height = 1
+	if len(leaves) == 1 {
+		t.root = leaves[0]
+		return nil
+	}
+	// Build inner levels.
+	kids := make([]interface{}, len(leaves))
+	for i, l := range leaves {
+		kids[i] = l
+	}
+	for len(kids) > 1 {
+		groupSize := innerCap + 1
+		var nextKids []interface{}
+		var nextFirsts []uint64
+		for start := 0; start < len(kids); start += groupSize {
+			end := start + groupSize
+			if end > len(kids) {
+				end = len(kids)
+			}
+			in := &inner{n: end - start - 1}
+			copy(in.kids[:], kids[start:end])
+			copy(in.keys[:], firsts[start+1:end])
+			t.inners++
+			nextKids = append(nextKids, in)
+			nextFirsts = append(nextFirsts, firsts[start])
+		}
+		kids, firsts = nextKids, nextFirsts
+		t.height++
+	}
+	t.root = kids[0]
+	return nil
+}
+
+// AvgDepth returns the number of inner levels traversed per lookup.
+func (t *BTree) AvgDepth() float64 { return float64(t.height - 1) }
+
+// Sizes reports the memory footprint split per Table III.
+func (t *BTree) Sizes() index.Sizes {
+	innerSz := int64(unsafe.Sizeof(inner{}))
+	leafHdr := int64(unsafe.Sizeof(leaf{})) - leafCap*16 // struct minus key/val arrays
+	return index.Sizes{
+		Structure: int64(t.inners)*innerSz + int64(t.leaves)*leafHdr,
+		Keys:      int64(t.leaves) * leafCap * 8,
+		Values:    int64(t.leaves) * leafCap * 8,
+	}
+}

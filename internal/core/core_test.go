@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+)
+
+// TestComposedConformance runs the full conformance suite over every
+// combination of the four dimensions — the paper's orthogonality claim
+// (§IV: "they can be combined to form brand new indexes") as a test.
+func TestComposedConformance(t *testing.T) {
+	approxes := []Approximator{LSA{SegLen: 128}, OptPLA{Eps: 16}, Greedy{Eps: 16}, LSAGap{SegLen: 128}}
+	strategies := []InsertStrategy{Inplace{Reserve: 64}, BufferInsert{Size: 64}, GapInsert{}}
+	policies := []RetrainPolicy{RetrainNode{}, ExpandOrSplit{MaxLeafKeys: 512}}
+	structures := []func() Structure{
+		func() Structure { return NewBTreeTop() },
+		func() Structure { return NewLRS(8) },
+		func() Structure { return NewRMITop(0) },
+		func() Structure { return NewATS(16, 64) },
+	}
+	for ai, a := range approxes {
+		for si, newS := range structures {
+			for sti, st := range strategies {
+				for pi, pol := range policies {
+					a, st, pol := a, st, pol
+					newS := newS
+					name := fmt.Sprintf("%s-%s-%s-%s", a.Name(), newS().Name(), st.Name(), pol.Name())
+					// Run the heavyweight random-model suite on a diagonal
+					// subset; smoke the rest with insert-get.
+					full := (ai+si+sti+pi)%3 == 0
+					t.Run(name, func(t *testing.T) {
+						f := func() index.Index { return Compose(a, newS(), st, pol) }
+						if full {
+							indextest.RunAll(t, name, f)
+						} else {
+							idx := f()
+							keys := dataset.Generate(dataset.YCSBNormal, 3000, 31)
+							load, ins := dataset.Split(keys, 1000)
+							if err := idx.(index.Bulk).BulkLoad(load, load); err != nil {
+								t.Fatal(err)
+							}
+							for _, k := range dataset.Shuffled(ins, 32) {
+								if err := idx.Insert(k, k); err != nil {
+									t.Fatal(err)
+								}
+							}
+							if idx.Len() != len(keys) {
+								t.Fatalf("Len = %d, want %d", idx.Len(), len(keys))
+							}
+							for _, k := range keys {
+								if v, ok := idx.Get(k); !ok || v != k {
+									t.Fatalf("get(%d) = %d,%v", k, v, ok)
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestStructureLocateFloor(t *testing.T) {
+	firsts := dataset.Generate(dataset.OSMLike, 5000, 17)
+	for _, s := range Structures() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			s.Build(firsts)
+			// Exact firsts locate themselves.
+			for i, f := range firsts {
+				if got := s.Locate(f); got != i {
+					t.Fatalf("Locate(first[%d]) = %d", i, got)
+				}
+			}
+			// Keys strictly between firsts floor to the left neighbour.
+			for i := 0; i+1 < len(firsts); i += 97 {
+				mid := firsts[i] + (firsts[i+1]-firsts[i])/2
+				if mid == firsts[i] {
+					continue
+				}
+				if got := s.Locate(mid); got != i {
+					t.Fatalf("Locate(between %d and %d) = %d, want %d", firsts[i], firsts[i+1], got, i)
+				}
+			}
+			// Keys before the first leaf clamp to 0.
+			if firsts[0] > 0 {
+				if got := s.Locate(firsts[0] - 1); got != 0 {
+					t.Fatalf("Locate(before all) = %d", got)
+				}
+			}
+			// Keys after the last leaf go to the last leaf.
+			if got := s.Locate(^uint64(0)); got != len(firsts)-1 {
+				t.Fatalf("Locate(max) = %d", got)
+			}
+			if s.Depth() <= 0 {
+				t.Fatalf("Depth() = %f", s.Depth())
+			}
+			if s.SizeBytes() <= 0 {
+				t.Fatalf("SizeBytes() = %d", s.SizeBytes())
+			}
+		})
+	}
+}
+
+// TestApproximatorTradeoffs pins the Fig 17(a/b) qualitative results:
+// Opt-PLA needs far fewer leaves than LSA at comparable error, and
+// LSA-gap achieves a lower average error than plain LSA at the same
+// segment length.
+func TestApproximatorTradeoffs(t *testing.T) {
+	// LSA-gap beats LSA at equal segment length on the paper's YCSB keys
+	// (gaps reshape locally near-linear runs almost perfectly).
+	ycsb := dataset.Generate(dataset.YCSBNormal, 50000, 19)
+	lsaY := LeafMetrics(LSA{SegLen: 256}.Build(ycsb, nil))
+	gapY := LeafMetrics(LSAGap{SegLen: 256}.Build(ycsb, nil))
+	if gapY.AvgErr >= lsaY.AvgErr {
+		t.Fatalf("lsa-gap avg err %.2f not below lsa %.2f", gapY.AvgErr, lsaY.AvgErr)
+	}
+	// Opt-PLA guarantees a maximum error; Fig 17(b) compares leaf counts
+	// at equal (max) error, where the separation is large on complex CDFs:
+	// LSA can only cap its max error by shrinking segments drastically.
+	keys := dataset.Generate(dataset.OSMLike, 50000, 19)
+	lsa := LeafMetrics(LSA{SegLen: 64}.Build(keys, nil))
+	opt := LeafMetrics(OptPLA{Eps: lsa.MaxErr}.Build(keys, nil))
+	if opt.MaxErr > lsa.MaxErr+2 {
+		t.Fatalf("opt-pla max err %d exceeds its bound %d", opt.MaxErr, lsa.MaxErr)
+	}
+	if opt.Segments*4 > lsa.Segments {
+		t.Fatalf("opt-pla %d leaves not far fewer than lsa %d at max err %d",
+			opt.Segments, lsa.Segments, lsa.MaxErr)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	learned := 0
+	for _, e := range reg {
+		if e.New == nil {
+			t.Fatalf("%s has no constructor", e.Name)
+		}
+		idx := e.New()
+		if idx.Name() == "" {
+			t.Fatalf("%s constructor returned unnamed index", e.Name)
+		}
+		if e.Learned {
+			learned++
+			if e.Approximation == "-" {
+				t.Fatalf("%s: learned index without approximation algorithm", e.Name)
+			}
+		}
+	}
+	// Six paper designs (FITing-tree counted twice for inp/buf) plus the
+	// LIPP and FINEdex extensions.
+	if learned != 9 {
+		t.Fatalf("learned entries = %d", learned)
+	}
+	if _, ok := Lookup("alex"); !ok {
+		t.Fatal("Lookup(alex) failed")
+	}
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Fatal("Lookup(nonesuch) succeeded")
+	}
+	if len(LearnedNames())+len(TraditionalNames()) != len(reg) {
+		t.Fatal("name partition broken")
+	}
+	// Only XIndex (and the hash and the FINEdex extension) support
+	// concurrent writes (Table I).
+	for _, e := range reg {
+		want := e.Name == "xindex" || e.Name == "cceh" || e.Name == "finedex"
+		if e.ConcurrentWrites != want {
+			t.Fatalf("%s ConcurrentWrites = %v", e.Name, e.ConcurrentWrites)
+		}
+	}
+}
+
+func TestRegistryConstructorsFunctional(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBNormal, 5000, 23)
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			idx := e.New()
+			if b, ok := idx.(index.Bulk); ok {
+				if err := b.BulkLoad(keys, keys); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				for _, k := range keys {
+					if err := idx.Insert(k, k); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < len(keys); i += 13 {
+				if v, ok := idx.Get(keys[i]); !ok || v != keys[i] {
+					t.Fatalf("get(%d) = %d,%v", keys[i], v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestGapInsertStrategyKeepsOrder(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBNormal, 512, 29)
+	load, ins := dataset.Split(keys, 200)
+	leaves := LSAGap{SegLen: 1024}.Build(load, load)
+	if len(leaves) != 1 {
+		t.Fatalf("%d leaves", len(leaves))
+	}
+	l := leaves[0]
+	st := GapInsert{}
+	for _, k := range ins {
+		if ok, retrain := st.Insert(l, k, k); !ok {
+			if !retrain {
+				t.Fatal("insert failed without asking for retrain")
+			}
+			regap(l, 0.7)
+			if ok2, _ := st.Insert(l, k, k); !ok2 {
+				t.Fatal("insert failed after regap")
+			}
+		}
+	}
+	prev := uint64(0)
+	n := 0
+	for i, used := range l.Used {
+		if !used {
+			continue
+		}
+		if n > 0 && l.Keys[i] <= prev {
+			t.Fatalf("order broken at slot %d", i)
+		}
+		prev = l.Keys[i]
+		n++
+	}
+	if n != len(keys) {
+		t.Fatalf("leaf holds %d keys, want %d", n, len(keys))
+	}
+}

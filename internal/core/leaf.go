@@ -1,0 +1,359 @@
+// Package core is the paper's contribution turned into an API: it cuts
+// updatable learned indexes into four orthogonal dimensions —
+// approximation algorithm, index structure, insertion strategy, and
+// retraining strategy (§IV) — and lets any combination be composed into
+// a working index (§IV opens by noting the dimensions are orthogonal and
+// can form brand-new indexes). The §IV microbenchmarks (Fig 17, Fig 18)
+// are sweeps over these pieces.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"learnedpieces/internal/pla"
+)
+
+// Leaf is one leaf node of a composed index: a linear model over either a
+// packed sorted run or a gapped array (Used != nil). Leaves are the unit
+// the approximation algorithms produce and the insertion/retraining
+// strategies operate on.
+type Leaf struct {
+	FirstKey  uint64
+	Slope     float64 // key -> slot, anchored at FirstKey
+	Intercept float64
+	MaxErr    int
+	Keys      []uint64
+	Vals      []uint64
+	Used      []bool // nil for packed leaves
+	NumKeys   int
+	// Buffer strategy: sorted side buffer.
+	BufK, BufV []uint64
+}
+
+// predict returns the model's slot estimate, clamped.
+func (l *Leaf) predict(key uint64) int {
+	var d float64
+	if key >= l.FirstKey {
+		d = float64(key - l.FirstKey)
+	} else {
+		d = -float64(l.FirstKey - key)
+	}
+	p := int(l.Slope*d + l.Intercept)
+	if p < 0 {
+		return 0
+	}
+	if p >= len(l.Keys) {
+		return len(l.Keys) - 1
+	}
+	return p
+}
+
+// remeasure recomputes MaxErr against the leaf-local model.
+func (l *Leaf) remeasure() {
+	l.MaxErr = 0
+	pos := 0
+	for i, k := range l.Keys {
+		if l.Used != nil {
+			if !l.Used[i] {
+				continue
+			}
+			pos = i
+		} else {
+			pos = i
+		}
+		e := l.predict(k) - pos
+		if e < 0 {
+			e = -e
+		}
+		if e > l.MaxErr {
+			l.MaxErr = e
+		}
+	}
+}
+
+// Find returns the slot holding key and whether it is present (the
+// Fig 17 microbenchmarks time this in-leaf search directly).
+func (l *Leaf) Find(key uint64) (int, bool) { return l.find(key) }
+
+// find returns the slot of key, or (insertionSlot, false).
+func (l *Leaf) find(key uint64) (int, bool) {
+	if l.Used != nil {
+		return l.findGapped(key)
+	}
+	n := len(l.Keys)
+	if n == 0 {
+		return 0, false
+	}
+	p := l.predict(key)
+	lo := p - l.MaxErr
+	hi := p + l.MaxErr + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	w := l.Keys[lo:hi]
+	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	at := lo + j
+	// Window insurance: walk to the true lower bound when the model's
+	// window missed (>= so a landing just past the key walks back onto it).
+	for at > 0 && l.Keys[at-1] >= key {
+		at--
+	}
+	for at < n && l.Keys[at] < key {
+		at++
+	}
+	if at < n && l.Keys[at] == key {
+		return at, true
+	}
+	return at, false
+}
+
+func (l *Leaf) findGapped(key uint64) (int, bool) {
+	// Constructed by value so the call stays allocation-free (the pointer
+	// does not escape SlotOf).
+	g := pla.GappedNode{
+		FirstKey:  l.FirstKey,
+		Slope:     l.Slope,
+		Intercept: l.Intercept,
+		Keys:      l.Keys,
+		Values:    l.Vals,
+		Used:      l.Used,
+		NumKeys:   l.NumKeys,
+	}
+	s, ok := g.SlotOf(key)
+	if ok {
+		return s, true
+	}
+	return g.PredictSlot(key), false
+}
+
+// iterate visits live entries in key order, merging the side buffer.
+func (l *Leaf) iterate(fn func(k, v uint64) bool) bool {
+	bi := 0
+	emitBuf := func(limit uint64, inclusive bool) bool {
+		for bi < len(l.BufK) && (l.BufK[bi] < limit || (inclusive && l.BufK[bi] == limit)) {
+			if !fn(l.BufK[bi], l.BufV[bi]) {
+				return false
+			}
+			bi++
+		}
+		return true
+	}
+	for i, k := range l.Keys {
+		if l.Used != nil && !l.Used[i] {
+			continue
+		}
+		if !emitBuf(k, false) {
+			return false
+		}
+		if !fn(k, l.Vals[i]) {
+			return false
+		}
+	}
+	return emitBuf(^uint64(0), true)
+}
+
+// live returns the sorted live keys/values including the buffer.
+func (l *Leaf) live() ([]uint64, []uint64) {
+	keys := make([]uint64, 0, l.NumKeys+len(l.BufK))
+	vals := make([]uint64, 0, l.NumKeys+len(l.BufK))
+	l.iterate(func(k, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals
+}
+
+// An Approximator is the approximation-CDF dimension: it turns a sorted
+// key run into model leaves.
+type Approximator interface {
+	Name() string
+	// Build produces the leaves for sorted distinct keys with parallel
+	// values (values may be nil).
+	Build(keys, vals []uint64) []*Leaf
+}
+
+// LSA is the least-squares algorithm over fixed-length segments (XIndex).
+type LSA struct {
+	// SegLen is the fixed keys-per-segment; <= 0 picks 256.
+	SegLen int
+}
+
+// Name implements Approximator.
+func (a LSA) Name() string { return "lsa" }
+
+// Build implements Approximator.
+func (a LSA) Build(keys, vals []uint64) []*Leaf {
+	segLen := a.SegLen
+	if segLen <= 0 {
+		segLen = 256
+	}
+	return packedLeaves(keys, vals, pla.BuildLSA(keys, segLen))
+}
+
+// OptPLA is the optimal streaming PLA with a max-error bound (PGM-Index).
+type OptPLA struct {
+	// Eps is the maximum error; <= 0 picks 32.
+	Eps int
+}
+
+// Name implements Approximator.
+func (a OptPLA) Name() string { return "opt-pla" }
+
+// Build implements Approximator.
+func (a OptPLA) Build(keys, vals []uint64) []*Leaf {
+	eps := a.Eps
+	if eps <= 0 {
+		eps = 32
+	}
+	return packedLeaves(keys, vals, pla.BuildOptPLA(keys, eps))
+}
+
+// Greedy is the feasible-space-window greedy segmentation (FITing-tree).
+type Greedy struct {
+	// Eps is the maximum error; <= 0 picks 32.
+	Eps int
+}
+
+// Name implements Approximator.
+func (a Greedy) Name() string { return "greedy" }
+
+// Build implements Approximator.
+func (a Greedy) Build(keys, vals []uint64) []*Leaf {
+	eps := a.Eps
+	if eps <= 0 {
+		eps = 32
+	}
+	return packedLeaves(keys, vals, pla.BuildGreedy(keys, eps))
+}
+
+// LSAGap is least squares with gaps (ALEX): it actively reshapes the
+// stored distribution by placing keys at model-predicted slots of an
+// under-filled array.
+type LSAGap struct {
+	// SegLen is the keys-per-leaf; <= 0 picks 256.
+	SegLen int
+	// Density is the fill factor; <= 0 picks 0.7.
+	Density float64
+}
+
+// Name implements Approximator.
+func (a LSAGap) Name() string { return "lsa-gap" }
+
+// Build implements Approximator.
+func (a LSAGap) Build(keys, vals []uint64) []*Leaf {
+	segLen := a.SegLen
+	if segLen <= 0 {
+		segLen = 256
+	}
+	density := a.Density
+	if density <= 0 || density > 1 {
+		density = 0.7
+	}
+	var leaves []*Leaf
+	for start := 0; start < len(keys); start += segLen {
+		end := start + segLen
+		if end > len(keys) {
+			end = len(keys)
+		}
+		var vs []uint64
+		if vals != nil {
+			vs = vals[start:end]
+		}
+		g := pla.BuildLSAGap(keys[start:end], vs, density)
+		l := &Leaf{
+			FirstKey:  g.FirstKey,
+			Slope:     g.Slope,
+			Intercept: g.Intercept,
+			Keys:      g.Keys,
+			Vals:      g.Values,
+			Used:      g.Used,
+			NumKeys:   g.NumKeys,
+		}
+		l.remeasure()
+		leaves = append(leaves, l)
+	}
+	if leaves == nil {
+		leaves = []*Leaf{emptyLeaf()}
+	}
+	return leaves
+}
+
+func emptyLeaf() *Leaf {
+	return &Leaf{Keys: []uint64{}, Vals: []uint64{}}
+}
+
+// packedLeaves copies segment runs into leaves with re-anchored models.
+func packedLeaves(keys, vals []uint64, segs []pla.Segment) []*Leaf {
+	if len(segs) == 0 {
+		return []*Leaf{emptyLeaf()}
+	}
+	leaves := make([]*Leaf, len(segs))
+	for i, s := range segs {
+		l := &Leaf{
+			FirstKey:  s.FirstKey,
+			Slope:     s.Slope,
+			Intercept: s.Intercept - float64(s.Start),
+			Keys:      append([]uint64(nil), keys[s.Start:s.End]...),
+			NumKeys:   s.End - s.Start,
+		}
+		if vals != nil {
+			l.Vals = append([]uint64(nil), vals[s.Start:s.End]...)
+		} else {
+			l.Vals = make([]uint64, s.End-s.Start)
+		}
+		l.remeasure()
+		leaves[i] = l
+	}
+	return leaves
+}
+
+// Approximators returns the algorithm dimension's catalogue with default
+// parameters (Fig 17a/b sweeps instantiate them with varying params).
+func Approximators() []Approximator {
+	return []Approximator{LSA{}, OptPLA{}, Greedy{}, LSAGap{}}
+}
+
+// LeafMetrics measures a set of leaves the way Fig 17a/b plots them:
+// leaf count, average model error and maximum error over live keys.
+func LeafMetrics(leaves []*Leaf) pla.Metrics {
+	m := pla.Metrics{Segments: len(leaves)}
+	var sum float64
+	var total int
+	for _, l := range leaves {
+		for i, k := range l.Keys {
+			if l.Used != nil && !l.Used[i] {
+				continue
+			}
+			var pos int
+			if l.Used != nil {
+				pos = i
+			} else {
+				pos = i
+			}
+			e := l.predict(k) - pos
+			if e < 0 {
+				e = -e
+			}
+			sum += float64(e)
+			total++
+			if e > m.MaxErr {
+				m.MaxErr = e
+			}
+		}
+	}
+	if total > 0 {
+		m.AvgErr = sum / float64(total)
+	}
+	return m
+}
+
+// String renders a leaf for debugging.
+func (l *Leaf) String() string {
+	return fmt.Sprintf("leaf{first=%d n=%d cap=%d gapped=%v err<=%d buf=%d}",
+		l.FirstKey, l.NumKeys, len(l.Keys), l.Used != nil, l.MaxErr, len(l.BufK))
+}

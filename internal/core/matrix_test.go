@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+)
+
+// TestIndexDatasetMatrix runs every registry index against every key
+// distribution: bulk load (or insert), point lookups, negative lookups,
+// mid-stream inserts and a bounded ordered scan. This is the robustness
+// net behind the paper's "fair environment" claim — all indexes must be
+// correct on all datasets before their performance is compared.
+func TestIndexDatasetMatrix(t *testing.T) {
+	const n = 8000
+	for _, e := range Registry() {
+		for _, kind := range dataset.Kinds() {
+			e, kind := e, kind
+			t.Run(fmt.Sprintf("%s/%s", e.Name, kind), func(t *testing.T) {
+				keys := dataset.Generate(kind, n, 77)
+				load, inserts := dataset.Split(keys, n/4)
+				idx := e.New()
+
+				if b, ok := idx.(index.Bulk); ok {
+					if err := b.BulkLoad(load, load); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					for _, k := range load {
+						if err := idx.Insert(k, k); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+
+				// Point lookups over the loaded set.
+				for i := 0; i < len(load); i += 7 {
+					if v, ok := idx.Get(load[i]); !ok || v != load[i] {
+						t.Fatalf("get(%d) = %d,%v", load[i], v, ok)
+					}
+				}
+				// The held-out keys must be absent.
+				for i := 0; i < len(inserts); i += 5 {
+					if _, ok := idx.Get(inserts[i]); ok {
+						t.Fatalf("absent key %d found", inserts[i])
+					}
+				}
+
+				// Mid-stream inserts (skipped for read-only indexes).
+				writable := true
+				for _, k := range dataset.Shuffled(inserts, 78) {
+					if err := idx.Insert(k, k^1); err != nil {
+						if err == index.ErrReadOnly {
+							writable = false
+							break
+						}
+						t.Fatal(err)
+					}
+				}
+				if writable {
+					if idx.Len() != len(keys) {
+						t.Fatalf("Len = %d, want %d", idx.Len(), len(keys))
+					}
+					for i := 0; i < len(inserts); i += 3 {
+						if v, ok := idx.Get(inserts[i]); !ok || v != inserts[i]^1 {
+							t.Fatalf("inserted key %d: %d,%v", inserts[i], v, ok)
+						}
+					}
+				}
+
+				// Bounded ordered scan from a midpoint (ordered indexes).
+				if sc, ok := idx.(index.Scanner); ok && e.Name != "cceh" {
+					start := keys[len(keys)/2]
+					prev := uint64(0)
+					cnt := 0
+					sc.Scan(start, 64, func(k, v uint64) bool {
+						if k < start {
+							t.Fatalf("scan returned %d < start %d", k, start)
+						}
+						if cnt > 0 && k <= prev {
+							t.Fatalf("scan out of order: %d after %d", k, prev)
+						}
+						prev = k
+						cnt++
+						return true
+					})
+					if cnt == 0 {
+						t.Fatal("bounded scan returned nothing")
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package index defines the interfaces every ordered (and unordered)
+// index in this repository implements, so the KV store, the composer and
+// the benchmark harness can treat learned and traditional indexes
+// uniformly — the precondition for the paper's "fair environment".
+package index
+
+import "errors"
+
+// ErrReadOnly is returned by Insert on indexes that do not support
+// updates (RMI, RadixSpline).
+var ErrReadOnly = errors.New("index: read-only index does not support insert")
+
+// Index is the operation set shared by all indexes. Keys and values are
+// uint64 (values are typically offsets into the KV store's storage).
+// Insert is an upsert: existing keys have their value replaced.
+type Index interface {
+	Name() string
+	Get(key uint64) (uint64, bool)
+	Insert(key, value uint64) error
+	Len() int
+}
+
+// Bulk is implemented by indexes that can be built from sorted, distinct
+// keys with parallel values; this is the paper's build/recovery path.
+type Bulk interface {
+	BulkLoad(keys, values []uint64) error
+}
+
+// Scanner is implemented by ordered indexes: visit entries with key >=
+// start in ascending key order until fn returns false or n entries were
+// visited (n <= 0 means no limit).
+type Scanner interface {
+	Scan(start uint64, n int, fn func(key, value uint64) bool)
+}
+
+// Deleter is implemented by indexes supporting removal. It reports
+// whether the key was present.
+type Deleter interface {
+	Delete(key uint64) bool
+}
+
+// Sizes is the memory footprint breakdown of Table III.
+type Sizes struct {
+	Structure int64 // models, inner nodes, directories — excluding key/value storage
+	Keys      int64 // key storage owned by the index, including gap slots
+	Values    int64 // value storage owned by the index
+}
+
+// Total returns the full footprint.
+func (s Sizes) Total() int64 { return s.Structure + s.Keys + s.Values }
+
+// Sized is implemented by indexes that report their footprint.
+type Sized interface {
+	Sizes() Sizes
+}
+
+// DepthReporter is implemented by tree-shaped indexes; AvgDepth is the
+// mean number of internal levels traversed root->leaf (Table II).
+type DepthReporter interface {
+	AvgDepth() float64
+}
+
+// RetrainReporter exposes retraining counters (Fig 18): how many retrain
+// (model rebuild / node split / merge) actions ran and their total cost
+// in nanoseconds.
+type RetrainReporter interface {
+	RetrainStats() (count int64, totalNs int64)
+}
+
+// ConcurrentReads marks indexes whose Get is safe to call concurrently
+// with other Gets (all static/bulk-loaded structures qualify).
+type ConcurrentReads interface {
+	ConcurrentReads() bool
+}
+
+// ConcurrentWrites marks indexes whose Insert is safe to call
+// concurrently with other Inserts and Gets (only XIndex in the paper).
+type ConcurrentWrites interface {
+	ConcurrentWrites() bool
+}

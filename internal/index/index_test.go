@@ -1,0 +1,20 @@
+package index
+
+import "testing"
+
+func TestSizesTotal(t *testing.T) {
+	s := Sizes{Structure: 10, Keys: 20, Values: 30}
+	if s.Total() != 60 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+	var zero Sizes
+	if zero.Total() != 0 {
+		t.Fatal("zero Sizes should total 0")
+	}
+}
+
+func TestErrReadOnly(t *testing.T) {
+	if ErrReadOnly == nil || ErrReadOnly.Error() == "" {
+		t.Fatal("ErrReadOnly not defined")
+	}
+}

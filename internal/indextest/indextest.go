@@ -1,0 +1,389 @@
+// Package indextest is a conformance suite shared by every index
+// implementation: basic get/insert/update semantics, bulk load, ordered
+// scans, deletes, and randomized model-based checks against a reference
+// map. Each index package runs it from its own tests.
+package indextest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+)
+
+// Factory builds an empty index under test.
+type Factory func() index.Index
+
+// RunAll runs every applicable conformance test, detecting optional
+// interfaces (Bulk, Scanner, Deleter) on a probe instance.
+func RunAll(t *testing.T, name string, f Factory) {
+	t.Run(name+"/empty", func(t *testing.T) { testEmpty(t, f) })
+	t.Run(name+"/insert-get", func(t *testing.T) { testInsertGet(t, f) })
+	t.Run(name+"/update", func(t *testing.T) { testUpdate(t, f) })
+	t.Run(name+"/random-model", func(t *testing.T) { testRandomModel(t, f) })
+	probe := f()
+	if _, ok := probe.(index.Bulk); ok {
+		t.Run(name+"/bulkload", func(t *testing.T) { testBulkLoad(t, f) })
+		t.Run(name+"/bulk-then-insert", func(t *testing.T) { testBulkThenInsert(t, f) })
+	}
+	if _, ok := probe.(index.Scanner); ok {
+		t.Run(name+"/scan", func(t *testing.T) { testScan(t, f) })
+	}
+	if _, ok := probe.(index.Deleter); ok {
+		t.Run(name+"/delete", func(t *testing.T) { testDelete(t, f) })
+	}
+	if _, ok := probe.(index.Sized); ok {
+		t.Run(name+"/sizes", func(t *testing.T) { testSizes(t, f) })
+	}
+}
+
+// RunReadOnly runs the conformance tests applicable to read-only indexes
+// (RMI, RadixSpline): bulk load, lookups, scans and sizes.
+func RunReadOnly(t *testing.T, name string, f Factory) {
+	t.Run(name+"/empty", func(t *testing.T) { testEmpty(t, f) })
+	t.Run(name+"/bulkload", func(t *testing.T) { testBulkLoad(t, f) })
+	t.Run(name+"/readonly-insert", func(t *testing.T) {
+		idx := f()
+		if err := idx.Insert(1, 1); err != index.ErrReadOnly {
+			t.Fatalf("Insert on read-only index returned %v, want ErrReadOnly", err)
+		}
+	})
+	t.Run(name+"/bulk-get-all-kinds", func(t *testing.T) {
+		for _, kind := range dataset.Kinds() {
+			idx := f()
+			keys := dataset.Generate(kind, 20000, 5)
+			if err := idx.(index.Bulk).BulkLoad(keys, keys); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				if v, ok := idx.Get(k); !ok || v != k {
+					t.Fatalf("%v: get(%d) = %d,%v", kind, k, v, ok)
+				}
+			}
+			rng := rand.New(rand.NewSource(6))
+			for i := 0; i < 1000; i++ {
+				k := rng.Uint64()
+				if contains(keys, k) {
+					continue
+				}
+				if _, ok := idx.Get(k); ok {
+					t.Fatalf("%v: absent key %d found", kind, k)
+				}
+			}
+		}
+	})
+	probe := f()
+	if _, ok := probe.(index.Scanner); ok {
+		t.Run(name+"/scan", func(t *testing.T) { testScan(t, f) })
+	}
+	if _, ok := probe.(index.Sized); ok {
+		t.Run(name+"/sizes", func(t *testing.T) { testSizes(t, f) })
+	}
+}
+
+func testEmpty(t *testing.T, f Factory) {
+	idx := f()
+	if idx.Len() != 0 {
+		t.Fatalf("empty index Len = %d", idx.Len())
+	}
+	if _, ok := idx.Get(42); ok {
+		t.Fatal("empty index returned a value")
+	}
+	if s, ok := idx.(index.Scanner); ok {
+		called := false
+		s.Scan(0, 10, func(k, v uint64) bool { called = true; return true })
+		if called {
+			t.Fatal("scan over empty index visited entries")
+		}
+	}
+}
+
+func testInsertGet(t *testing.T, f Factory) {
+	idx := f()
+	keys := dataset.Generate(dataset.YCSBUniform, 2000, 11)
+	order := dataset.Shuffled(keys, 12)
+	for i, k := range order {
+		if err := idx.Insert(k, k^0xABCD); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		if i%97 == 0 {
+			// Spot check mid-stream.
+			if v, ok := idx.Get(k); !ok || v != k^0xABCD {
+				t.Fatalf("mid-stream get(%d) = %d,%v", k, v, ok)
+			}
+		}
+	}
+	if idx.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(keys))
+	}
+	for _, k := range keys {
+		v, ok := idx.Get(k)
+		if !ok {
+			t.Fatalf("key %d missing", k)
+		}
+		if v != k^0xABCD {
+			t.Fatalf("key %d: value %d, want %d", k, v, k^0xABCD)
+		}
+	}
+	// Absent keys.
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64()
+		if contains(keys, k) {
+			continue
+		}
+		if _, ok := idx.Get(k); ok {
+			t.Fatalf("absent key %d found", k)
+		}
+	}
+}
+
+func testUpdate(t *testing.T, f Factory) {
+	idx := f()
+	mustInsert(t, idx, 100, 1)
+	mustInsert(t, idx, 100, 2)
+	if idx.Len() != 1 {
+		t.Fatalf("upsert changed Len to %d", idx.Len())
+	}
+	if v, _ := idx.Get(100); v != 2 {
+		t.Fatalf("update lost: got %d", v)
+	}
+}
+
+func testBulkLoad(t *testing.T, f Factory) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 5000} {
+		idx := f()
+		keys := dataset.Generate(dataset.OSMLike, n, 21)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(i) + 7
+		}
+		if err := idx.(index.Bulk).BulkLoad(keys, vals); err != nil {
+			t.Fatalf("n=%d: bulk load: %v", n, err)
+		}
+		if idx.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, idx.Len())
+		}
+		for i, k := range keys {
+			v, ok := idx.Get(k)
+			if !ok || v != vals[i] {
+				t.Fatalf("n=%d: get(%d) = %d,%v want %d", n, k, v, ok, vals[i])
+			}
+		}
+	}
+}
+
+func testBulkThenInsert(t *testing.T, f Factory) {
+	idx := f()
+	all := dataset.Generate(dataset.YCSBNormal, 4000, 31)
+	load, ins := dataset.Split(all, 1000)
+	if err := idx.(index.Bulk).BulkLoad(load, load); err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+	for _, k := range dataset.Shuffled(ins, 32) {
+		if err := idx.Insert(k, k); err != nil {
+			if err == index.ErrReadOnly {
+				t.Skip("read-only index")
+			}
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if idx.Len() != len(all) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(all))
+	}
+	for _, k := range all {
+		if v, ok := idx.Get(k); !ok || v != k {
+			t.Fatalf("get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func testScan(t *testing.T, f Factory) {
+	idx := f()
+	keys := dataset.Generate(dataset.YCSBUniform, 3000, 41)
+	if b, ok := idx.(index.Bulk); ok {
+		if err := b.BulkLoad(keys, keys); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for _, k := range keys {
+			mustInsert(t, idx, k, k)
+		}
+	}
+	s := idx.(index.Scanner)
+
+	// Full scan is ordered and complete.
+	var got []uint64
+	s.Scan(0, 0, func(k, v uint64) bool {
+		if k != v {
+			t.Fatalf("scan visited (%d,%d)", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("full scan visited %d entries, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("scan order broken at %d: %d != %d", i, got[i], keys[i])
+		}
+	}
+
+	// Bounded scan from a mid key.
+	startIdx := len(keys) / 3
+	var window []uint64
+	s.Scan(keys[startIdx], 50, func(k, v uint64) bool {
+		window = append(window, k)
+		return true
+	})
+	if len(window) != 50 {
+		t.Fatalf("bounded scan returned %d entries", len(window))
+	}
+	for i := range window {
+		if window[i] != keys[startIdx+i] {
+			t.Fatalf("bounded scan wrong at %d", i)
+		}
+	}
+
+	// Scan from between two keys starts at the next key.
+	start := keys[10] + 1
+	if start < keys[11] {
+		var first uint64
+		s.Scan(start, 1, func(k, v uint64) bool { first = k; return true })
+		if first != keys[11] {
+			t.Fatalf("scan(%d) started at %d, want %d", start, first, keys[11])
+		}
+	}
+
+	// Early termination.
+	count := 0
+	s.Scan(0, 0, func(k, v uint64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early-terminated scan visited %d", count)
+	}
+}
+
+func testDelete(t *testing.T, f Factory) {
+	idx := f()
+	keys := dataset.Generate(dataset.YCSBUniform, 1000, 51)
+	for _, k := range keys {
+		mustInsert(t, idx, k, k)
+	}
+	d := idx.(index.Deleter)
+	// Delete every other key.
+	for i, k := range keys {
+		if i%2 == 0 {
+			if !d.Delete(k) {
+				t.Fatalf("delete(%d) = false", k)
+			}
+		}
+	}
+	if idx.Len() != len(keys)/2 {
+		t.Fatalf("Len after deletes = %d", idx.Len())
+	}
+	for i, k := range keys {
+		_, ok := idx.Get(k)
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence = %v after deletes", k, ok)
+		}
+	}
+	// Deleting absent keys reports false.
+	if d.Delete(keys[0]) {
+		t.Fatal("double delete returned true")
+	}
+	// Reinsert works.
+	mustInsert(t, idx, keys[0], 999)
+	if v, ok := idx.Get(keys[0]); !ok || v != 999 {
+		t.Fatalf("reinsert failed: %d,%v", v, ok)
+	}
+}
+
+func testSizes(t *testing.T, f Factory) {
+	idx := f()
+	keys := dataset.Generate(dataset.YCSBUniform, 2000, 61)
+	if b, ok := idx.(index.Bulk); ok {
+		if err := b.BulkLoad(keys, keys); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for _, k := range keys {
+			mustInsert(t, idx, k, k)
+		}
+	}
+	s := idx.(index.Sized).Sizes()
+	if s.Keys < int64(len(keys))*8 {
+		t.Fatalf("Keys size %d below raw key bytes", s.Keys)
+	}
+	if s.Structure < 0 || s.Total() <= 0 {
+		t.Fatalf("implausible sizes %+v", s)
+	}
+}
+
+// testRandomModel drives the index with a random op stream and checks
+// every response against a reference map.
+func testRandomModel(t *testing.T, f Factory) {
+	idx := f()
+	ref := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(71))
+	d, canDelete := idx.(index.Deleter)
+	keyspace := make([]uint64, 300)
+	for i := range keyspace {
+		keyspace[i] = rng.Uint64()
+	}
+	for op := 0; op < 20000; op++ {
+		k := keyspace[rng.Intn(len(keyspace))]
+		switch rng.Intn(4) {
+		case 0, 1: // insert/update
+			v := rng.Uint64()
+			if err := idx.Insert(k, v); err != nil {
+				t.Fatalf("op %d: insert: %v", op, err)
+			}
+			ref[k] = v
+		case 2: // get
+			v, ok := idx.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: get(%d) = (%d,%v), want (%d,%v)", op, k, v, ok, rv, rok)
+			}
+		case 3: // delete
+			if !canDelete {
+				continue
+			}
+			got := d.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if op%5000 == 4999 && idx.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, ref = %d", op, idx.Len(), len(ref))
+		}
+	}
+	if idx.Len() != len(ref) {
+		t.Fatalf("final Len = %d, ref = %d", idx.Len(), len(ref))
+	}
+	for k, rv := range ref {
+		if v, ok := idx.Get(k); !ok || v != rv {
+			t.Fatalf("final get(%d) = (%d,%v), want %d", k, v, ok, rv)
+		}
+	}
+}
+
+func mustInsert(t *testing.T, idx index.Index, k, v uint64) {
+	t.Helper()
+	if err := idx.Insert(k, v); err != nil {
+		t.Fatalf("insert(%d): %v", k, err)
+	}
+}
+
+func contains(sorted []uint64, k uint64) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+	return i < len(sorted) && sorted[i] == k
+}

@@ -1,0 +1,557 @@
+// Package alex implements ALEX (Ding et al.): an adaptive learned index
+// with an asymmetric tree of linear-model inner nodes over gapped-array
+// data nodes.
+//
+// The design dimensions the paper attributes to ALEX (Table I):
+//
+//   - Approximation algorithm: LSA+gap — data nodes place keys at their
+//     model-predicted slots inside an array larger than the key count
+//     (internal/pla BuildLSAGap), actively reshaping the stored CDF.
+//   - Index structure: asymmetric tree (ATS) — dense key regions recurse
+//     into deeper subtrees while sparse regions attach data nodes
+//     directly under the root, so the average depth stays near 1.
+//   - Insertion: model-based in-place insert into a gap, shifting at most
+//     the short run of keys between the target and the nearest gap.
+//   - Retraining: when a data node exceeds its density bound it is either
+//     expanded (rebuilt at lower density with a retrained model) or split
+//     (sideways when it owns several parent slots, downward into a new
+//     subtree otherwise).
+package alex
+
+import (
+	"sort"
+	"time"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Config controls node sizing and densities.
+type Config struct {
+	// MaxLeafKeys is the split threshold for data nodes; <= 0 picks 1024.
+	MaxLeafKeys int
+	// Density is the target occupancy after (re)build; <= 0 picks 0.7.
+	Density float64
+	// UpperDensity triggers expansion/split; <= 0 picks 0.8.
+	UpperDensity float64
+	// MaxFanout bounds inner-node children; <= 0 picks 256.
+	MaxFanout int
+}
+
+// DefaultConfig returns the configuration used by the benchmarks.
+func DefaultConfig() Config { return Config{} }
+
+func (c *Config) normalize() {
+	if c.MaxLeafKeys <= 0 {
+		c.MaxLeafKeys = 4096
+	}
+	if c.Density <= 0 || c.Density > 1 {
+		c.Density = 0.7
+	}
+	if c.UpperDensity <= c.Density || c.UpperDensity > 1 {
+		c.UpperDensity = 0.8
+	}
+	if c.MaxFanout <= 0 {
+		c.MaxFanout = 256
+	}
+}
+
+type innerNode struct {
+	firstKey  uint64
+	slope     float64 // key -> child slot
+	intercept float64
+	children  []interface{} // *innerNode or *dataNode; repeats allowed
+}
+
+func (in *innerNode) childSlot(key uint64) int {
+	var d float64
+	if key >= in.firstKey {
+		d = float64(key - in.firstKey)
+	} else {
+		d = -float64(in.firstKey - key)
+	}
+	s := int(in.slope*d + in.intercept)
+	if s < 0 {
+		return 0
+	}
+	if s >= len(in.children) {
+		return len(in.children) - 1
+	}
+	return s
+}
+
+// keyAtSlot inverts the child model: the smallest key mapping to slot s.
+func (in *innerNode) keyAtSlot(s int) (uint64, bool) {
+	if in.slope <= 0 {
+		return 0, false
+	}
+	d := (float64(s) - in.intercept) / in.slope
+	if d <= 0 {
+		return in.firstKey, true
+	}
+	if d >= float64(^uint64(0)-in.firstKey) {
+		return ^uint64(0), true
+	}
+	return in.firstKey + uint64(d), true
+}
+
+type dataNode struct {
+	g          *pla.GappedNode
+	next, prev *dataNode
+}
+
+// Index is the ALEX index.
+type Index struct {
+	cfg    Config
+	root   interface{}
+	head   *dataNode // leftmost data node, for scans
+	length int
+
+	retrains  int64
+	retrainNs int64
+	expands   int64
+	splits    int64
+}
+
+// New returns an empty ALEX index.
+func New(cfg Config) *Index {
+	cfg.normalize()
+	ix := &Index{cfg: cfg}
+	ix.setRoot(ix.newDataNode(nil, nil))
+	return ix
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "alex" }
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return ix.length }
+
+// ConcurrentReads reports that concurrent Gets are safe between writes.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// RetrainStats implements index.RetrainReporter.
+func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+
+// ExpandSplitCounts reports the two retraining actions separately.
+func (ix *Index) ExpandSplitCounts() (expands, splits int64) { return ix.expands, ix.splits }
+
+func (ix *Index) setRoot(n interface{}) {
+	ix.root = n
+	ix.head = leftmost(n)
+}
+
+func leftmost(n interface{}) *dataNode {
+	for {
+		switch x := n.(type) {
+		case *innerNode:
+			n = x.children[0]
+		case *dataNode:
+			return x
+		}
+	}
+}
+
+func (ix *Index) newDataNode(keys, vals []uint64) *dataNode {
+	return &dataNode{g: pla.BuildLSAGap(keys, vals, ix.cfg.Density)}
+}
+
+// BulkLoad builds the asymmetric tree over sorted distinct keys.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.length = len(keys)
+	if values == nil {
+		values = make([]uint64, len(keys))
+	}
+	var prev *dataNode
+	root := ix.build(keys, values, &prev)
+	ix.setRoot(root)
+	return nil
+}
+
+// build recursively constructs the tree, threading the leaf chain.
+func (ix *Index) build(keys, vals []uint64, prev **dataNode) interface{} {
+	if len(keys) <= ix.cfg.MaxLeafKeys {
+		d := ix.newDataNode(keys, vals)
+		d.prev = *prev
+		if *prev != nil {
+			(*prev).next = d
+		}
+		*prev = d
+		return d
+	}
+	target := ix.cfg.MaxLeafKeys / 2
+	fanout := 2
+	for fanout < ix.cfg.MaxFanout && len(keys)/fanout > target {
+		fanout *= 2
+	}
+	seg := pla.FitLinear(keys, 0, len(keys))
+	in := &innerNode{
+		firstKey:  keys[0],
+		slope:     seg.Slope * float64(fanout) / float64(len(keys)),
+		intercept: (seg.Intercept - float64(seg.Start)) * float64(fanout) / float64(len(keys)),
+		children:  make([]interface{}, fanout),
+	}
+	// Partition keys into contiguous runs per child slot (predictions are
+	// monotone in the key).
+	bounds := partition(in, keys)
+	// Degenerate model: every key in one slot makes no progress — fall
+	// back to a 2-way split with a model anchored at the median key. The
+	// partition is recomputed *from the model* so lookups and storage
+	// always agree.
+	if maxRun(bounds) == len(keys) {
+		mid := len(keys) / 2
+		in.children = make([]interface{}, 2)
+		in.firstKey = keys[0]
+		in.slope = 1 / float64(keys[mid]-keys[0])
+		in.intercept = 0
+		bounds = partition(in, keys)
+		if maxRun(bounds) == len(keys) {
+			// Float rounding defeated even the 2-way model (pathological key
+			// spacing): fall back to one oversized data node; a later
+			// retrain will revisit it.
+			d := ix.newDataNode(keys, vals)
+			d.prev = *prev
+			if *prev != nil {
+				(*prev).next = d
+			}
+			*prev = d
+			return d
+		}
+	}
+	fanout = len(in.children)
+	for s := 0; s < fanout; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
+			// Empty slot: point at the child that will receive keys mapping
+			// here; defer to a shared empty data node created lazily below.
+			continue
+		}
+		in.children[s] = ix.build(keys[lo:hi], vals[lo:hi], prev)
+	}
+	// Fill empty slots: share the nearest child to the left (so lookups
+	// landing there find the node whose range precedes the key), or the
+	// first non-empty child for leading empties.
+	var last interface{}
+	for s := 0; s < fanout; s++ {
+		if in.children[s] != nil {
+			last = in.children[s]
+			break
+		}
+	}
+	for s := 0; s < fanout; s++ {
+		if in.children[s] == nil {
+			in.children[s] = last
+		} else {
+			last = in.children[s]
+		}
+	}
+	return in
+}
+
+// partition returns bounds such that child s owns keys[bounds[s]:
+// bounds[s+1]] — exactly the keys the inner model maps to slot s.
+func partition(in *innerNode, keys []uint64) []int {
+	fanout := len(in.children)
+	bounds := make([]int, fanout+1)
+	bounds[fanout] = len(keys)
+	pos := 0
+	for s := 0; s < fanout; s++ {
+		bounds[s] = pos
+		for pos < len(keys) && in.childSlot(keys[pos]) <= s {
+			pos++
+		}
+	}
+	return bounds
+}
+
+func maxRun(bounds []int) int {
+	m := 0
+	for i := 0; i+1 < len(bounds); i++ {
+		if w := bounds[i+1] - bounds[i]; w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// pathEntry records the descent for split handling.
+type pathEntry struct {
+	in   *innerNode
+	slot int
+}
+
+func (ix *Index) descend(key uint64, path *[]pathEntry) *dataNode {
+	n := ix.root
+	for {
+		switch x := n.(type) {
+		case *innerNode:
+			s := x.childSlot(key)
+			if path != nil {
+				*path = append(*path, pathEntry{x, s})
+			}
+			n = x.children[s]
+		case *dataNode:
+			return x
+		}
+	}
+}
+
+// Get returns the value stored under key.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	d := ix.descend(key, nil)
+	slot, ok := d.g.SlotOf(key)
+	if !ok {
+		return 0, false
+	}
+	return d.g.Values[slot], true
+}
+
+// Insert stores value under key, replacing any existing value. The
+// model-based gap insertion itself lives in pla.GappedNode.Insert; this
+// method handles the tree plumbing: descent, density-triggered
+// retraining, and retry after an expand/split made room.
+func (ix *Index) Insert(key, value uint64) error {
+	for {
+		var path []pathEntry
+		d := ix.descend(key, &path)
+		if slot, ok := d.g.SlotOf(key); ok {
+			d.g.Values[slot] = value
+			return nil
+		}
+		if d.g.Capacity() == 0 {
+			*d.g = *pla.BuildLSAGap([]uint64{key}, []uint64{value}, ix.cfg.Density)
+			ix.length++
+			return nil
+		}
+		if d.g.Insert(key, value) {
+			ix.length++
+			if float64(d.g.NumKeys)/float64(d.g.Capacity()) >= ix.cfg.UpperDensity {
+				ix.retrain(d, path)
+			}
+			return nil
+		}
+		// Completely full: retrain (expand or split), then retry.
+		ix.retrain(d, path)
+	}
+}
+
+// retrain expands or splits a data node that exceeded its density bound.
+func (ix *Index) retrain(d *dataNode, path []pathEntry) {
+	start := time.Now()
+	keys := make([]uint64, 0, d.g.NumKeys)
+	vals := make([]uint64, 0, d.g.NumKeys)
+	for i, used := range d.g.Used {
+		if used {
+			keys = append(keys, d.g.Keys[i])
+			vals = append(vals, d.g.Values[i])
+		}
+	}
+	if len(keys) <= ix.cfg.MaxLeafKeys {
+		// Expand: rebuild at the lower density bound (ALEX's 0.6) with a
+		// fresh model, buying UpperDensity-0.6 of the capacity in future
+		// gap inserts per retrain.
+		d.g = pla.BuildLSAGap(keys, vals, 0.6)
+		ix.expands++
+	} else {
+		ix.split(d, keys, vals, path)
+		ix.splits++
+	}
+	ix.retrains++
+	ix.retrainNs += time.Since(start).Nanoseconds()
+}
+
+// split divides an over-full data node. When the node owns more than one
+// slot in its parent, the slot range is halved at the model boundary
+// (sideways split); otherwise a new subtree replaces it (downward split,
+// which is what makes the tree asymmetric).
+func (ix *Index) split(d *dataNode, keys, vals []uint64, path []pathEntry) {
+	if len(path) == 0 {
+		// The root is the data node: grow a tree above it.
+		prev := d.prev
+		sub := ix.build(keys, vals, &prev)
+		relinkTail(prev, d.next)
+		ix.setRoot(sub)
+		return
+	}
+	pe := path[len(path)-1]
+	lo, hi := pe.slot, pe.slot+1
+	for lo > 0 && pe.in.children[lo-1] == d {
+		lo--
+	}
+	for hi < len(pe.in.children) && pe.in.children[hi] == d {
+		hi++
+	}
+	// The sideways cut must agree exactly with the parent's child mapping:
+	// keys the model sends to slots < mid go left.
+	mid := (lo + hi) / 2
+	cut := sort.Search(len(keys), func(i int) bool { return pe.in.childSlot(keys[i]) >= mid })
+	if hi-lo < 2 || cut == 0 || cut == len(keys) {
+		// Downward split: build a subtree over this node's keys. (Also taken
+		// when the model maps every key to one half, where a sideways split
+		// would make no progress.)
+		prev := d.prev
+		sub := ix.build(keys, vals, &prev)
+		relinkTail(prev, d.next)
+		for s := lo; s < hi; s++ {
+			pe.in.children[s] = sub
+		}
+		if ix.head == d {
+			ix.head = leftmost(sub)
+		}
+		return
+	}
+	left := ix.newDataNode(keys[:cut], vals[:cut])
+	right := ix.newDataNode(keys[cut:], vals[cut:])
+	left.prev = d.prev
+	if d.prev != nil {
+		d.prev.next = left
+	}
+	left.next = right
+	right.prev = left
+	right.next = d.next
+	if d.next != nil {
+		d.next.prev = right
+	}
+	for s := lo; s < mid; s++ {
+		pe.in.children[s] = left
+	}
+	for s := mid; s < hi; s++ {
+		pe.in.children[s] = right
+	}
+	if ix.head == d {
+		ix.head = left
+	}
+}
+
+// relinkTail connects the last node of a freshly built chain to the old
+// successor.
+func relinkTail(tail, next *dataNode) {
+	if tail != nil {
+		tail.next = next
+	}
+	if next != nil {
+		next.prev = tail
+	}
+}
+
+// Delete removes key and reports whether it was present. Nodes are not
+// contracted (ALEX's lower-density contraction is omitted; gaps left by
+// deletes are reused by later inserts).
+func (ix *Index) Delete(key uint64) bool {
+	d := ix.descend(key, nil)
+	slot, ok := d.g.SlotOf(key)
+	if !ok {
+		return false
+	}
+	d.g.Remove(slot)
+	ix.length--
+	return true
+}
+
+// Scan visits entries with key >= start in ascending order via the data
+// node chain.
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	d := ix.descend(start, nil)
+	// The model may land us one node ahead of the true successor chain
+	// position; back up while the previous node could contain >= start.
+	for d.prev != nil && lastKey(d.prev) >= start {
+		d = d.prev
+	}
+	count := 0
+	for d != nil {
+		for i, used := range d.g.Used {
+			if !used || d.g.Keys[i] < start {
+				continue
+			}
+			if n > 0 && count >= n {
+				return
+			}
+			if !fn(d.g.Keys[i], d.g.Values[i]) {
+				return
+			}
+			count++
+		}
+		d = d.next
+	}
+}
+
+func lastKey(d *dataNode) uint64 {
+	for i := d.g.Capacity() - 1; i >= 0; i-- {
+		if d.g.Used[i] {
+			return d.g.Keys[i]
+		}
+	}
+	return 0
+}
+
+// AvgDepth returns the key-weighted average number of inner nodes on the
+// root->data-node path (Table II reports ~1.03 on YCSB).
+func (ix *Index) AvgDepth() float64 {
+	var sum, keys float64
+	seen := make(map[*dataNode]bool)
+	var walk func(n interface{}, depth int)
+	walk = func(n interface{}, depth int) {
+		switch x := n.(type) {
+		case *innerNode:
+			var last interface{}
+			for _, c := range x.children {
+				if c != last {
+					walk(c, depth+1)
+					last = c
+				}
+			}
+		case *dataNode:
+			if seen[x] {
+				return
+			}
+			seen[x] = true
+			sum += float64(depth) * float64(x.g.NumKeys)
+			keys += float64(x.g.NumKeys)
+		}
+	}
+	walk(ix.root, 0)
+	if keys == 0 {
+		return 0
+	}
+	return sum / keys
+}
+
+// LeafCount returns the number of data nodes.
+func (ix *Index) LeafCount() int {
+	n := 0
+	for d := ix.head; d != nil; d = d.next {
+		n++
+	}
+	return n
+}
+
+// Sizes reports the footprint. ALEX's structure is tiny (Table III lists
+// 129KB for 200M keys) because data-node models are the only per-leaf
+// metadata; the gapped arrays dominate and are charged to keys/values.
+func (ix *Index) Sizes() index.Sizes {
+	var structure, slots int64
+	var walk func(n interface{})
+	seen := make(map[*dataNode]bool)
+	walk = func(n interface{}) {
+		switch x := n.(type) {
+		case *innerNode:
+			structure += int64(len(x.children))*16 + 48
+			var last interface{}
+			for _, c := range x.children {
+				if c != last {
+					walk(c)
+					last = c
+				}
+			}
+		case *dataNode:
+			if seen[x] {
+				return
+			}
+			seen[x] = true
+			structure += 48 + int64(x.g.Capacity()) // model + used bitmap
+			slots += int64(x.g.Capacity())
+		}
+	}
+	walk(ix.root)
+	return index.Sizes{Structure: structure, Keys: slots * 8, Values: slots * 8}
+}

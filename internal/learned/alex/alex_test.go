@@ -1,0 +1,215 @@
+package alex
+
+import (
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.RunAll(t, "alex", func() index.Index {
+		return New(Config{MaxLeafKeys: 128})
+	})
+}
+
+func TestAsymmetricDepth(t *testing.T) {
+	// YCSB-like keys: ALEX's depth should be near 1 (Table II: 1.03),
+	// OSM-like should be deeper (Table II: 1.89).
+	build := func(kind dataset.Kind) *Index {
+		ix := New(Config{MaxLeafKeys: 512})
+		keys := dataset.Generate(kind, 200000, 11)
+		if err := ix.BulkLoad(keys, keys); err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	y := build(dataset.YCSBNormal).AvgDepth()
+	o := build(dataset.OSMLike).AvgDepth()
+	if y < 1 {
+		t.Fatalf("YCSB depth %f < 1", y)
+	}
+	if o < y {
+		t.Fatalf("OSM depth %f not deeper than YCSB %f", o, y)
+	}
+}
+
+func TestHeavyInsertGrowth(t *testing.T) {
+	ix := New(Config{MaxLeafKeys: 256})
+	keys := dataset.Generate(dataset.YCSBUniform, 30000, 13)
+	for _, k := range dataset.Shuffled(keys, 14) {
+		if err := ix.Insert(k, k^7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(keys))
+	}
+	exp, spl := ix.ExpandSplitCounts()
+	if exp == 0 || spl == 0 {
+		t.Fatalf("expected both expansions and splits, got %d/%d", exp, spl)
+	}
+	for _, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != k^7 {
+			t.Fatalf("get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	// Chain covers everything in order.
+	prev := uint64(0)
+	n := 0
+	ix.Scan(0, 0, func(k, v uint64) bool {
+		if n > 0 && k <= prev {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != len(keys) {
+		t.Fatalf("scan visited %d, want %d", n, len(keys))
+	}
+}
+
+func TestGapInsertLittleMovement(t *testing.T) {
+	// After bulk load at density 0.7, most inserts should land in a gap
+	// without needing an expansion immediately.
+	ix := New(Config{MaxLeafKeys: 1024})
+	keys := dataset.Generate(dataset.YCSBNormal, 50000, 15)
+	load, ins := dataset.Split(keys, 5000)
+	if err := ix.BulkLoad(load, load); err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := ix.RetrainStats()
+	for _, k := range ins {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, _ := ix.RetrainStats()
+	// 5000 inserts into ~30% headroom should retrain far less than once
+	// per 100 inserts (the paper reports one retrain per ~200k inserts at
+	// full scale).
+	if r1-r0 > int64(len(ins)/100) {
+		t.Fatalf("too many retrains: %d for %d inserts", r1-r0, len(ins))
+	}
+}
+
+func TestSequentialAppendPattern(t *testing.T) {
+	// Paper §V-B2: sequential inserts always land at the end; make sure
+	// correctness holds under this adversarial pattern.
+	ix := New(Config{MaxLeafKeys: 128})
+	for i := 1; i <= 10000; i++ {
+		if err := ix.Insert(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 10000; i++ {
+		if v, ok := ix.Get(uint64(i)); !ok || v != uint64(i) {
+			t.Fatalf("get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestRootDataNodeSplit grows an index from empty until the root data
+// node must become a tree (the len(path)==0 split branch).
+func TestRootDataNodeSplit(t *testing.T) {
+	ix := New(Config{MaxLeafKeys: 64})
+	keys := dataset.Generate(dataset.YCSBUniform, 2000, 17)
+	for _, k := range keys {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, isData := ix.root.(*dataNode); isData {
+		t.Fatal("root never split into a tree")
+	}
+	for _, k := range keys {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("key %d lost across root split", k)
+		}
+	}
+}
+
+// TestDownwardSplitDeepens forces a data node that owns a single parent
+// slot to split downward, creating the asymmetric depth growth.
+func TestDownwardSplitDeepens(t *testing.T) {
+	ix := New(Config{MaxLeafKeys: 64, MaxFanout: 4})
+	// A hot cluster plus sparse outliers: the cluster concentrates in few
+	// parent slots and must deepen.
+	var keys []uint64
+	for i := uint64(0); i < 3000; i++ {
+		keys = append(keys, 1_000_000+i)
+	}
+	keys = append(keys, 1, 1<<50, 1<<60)
+	for _, k := range dataset.Shuffled(dataset.SortedUnique(keys), 18) {
+		if err := ix.Insert(k, k^3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := ix.AvgDepth(); d < 1.5 {
+		t.Fatalf("expected deepened tree, depth %.2f", d)
+	}
+	for _, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != k^3 {
+			t.Fatalf("get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestDeleteThenReinsertIntoGaps(t *testing.T) {
+	ix := New(Config{MaxLeafKeys: 256})
+	keys := dataset.Generate(dataset.YCSBNormal, 5000, 19)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(keys); i += 2 {
+		if !ix.Delete(keys[i]) {
+			t.Fatalf("delete(%d)", keys[i])
+		}
+	}
+	for i := 0; i < len(keys); i += 2 {
+		if err := ix.Insert(keys[i], keys[i]+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i, k := range keys {
+		want := k
+		if i%2 == 0 {
+			want = k + 1
+		}
+		if v, ok := ix.Get(k); !ok || v != want {
+			t.Fatalf("get(%d) = %d,%v want %d", k, v, ok, want)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	ix := New(DefaultConfig())
+	keys := dataset.Generate(dataset.YCSBNormal, 1_000_000, 1)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		b.Fatal(err)
+	}
+	probes := dataset.Shuffled(keys, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := dataset.Generate(dataset.YCSBNormal, 2_000_000, 3)
+	load, ins := dataset.Split(keys, 1_000_000)
+	ix := New(DefaultConfig())
+	if err := ix.BulkLoad(load, load); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := ins[i%len(ins)]
+		ix.Insert(k, k)
+	}
+}

@@ -1,0 +1,514 @@
+// Package finedex implements a FINEdex-style learned index (Li et al.,
+// VLDB'22: "FINEdex: A Fine-grained Learned Index Scheme for Scalable
+// and Concurrent Memory Systems") — cited in the paper's introduction as
+// one of the practical updatable learned indexes. Its design point:
+// error-bounded models over immutable base data, with *fine-grained*
+// insert absorbers ("level bins") hanging off each model instead of one
+// coarse per-group buffer (XIndex) — writers touching different bins
+// never contend, and a full bin splits into a child level of bins rather
+// than blocking on a retrain.
+//
+// Concurrency: a global RWMutex guards only the segment-array swap
+// (retraining); per-bin mutexes serialise writers hand-over-hand down
+// the bin levels; base data is immutable and read lock-free.
+package finedex
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Config controls models, bins and retraining.
+type Config struct {
+	// Eps is the model error bound; <= 0 picks 32.
+	Eps int
+	// BinCap is the entry capacity of one bin; <= 0 picks 64.
+	BinCap int
+	// BinFanout is the child count of a split bin; <= 0 picks 4.
+	BinFanout int
+	// MaxDepth bounds bin levels before the segment retrains; <= 0 picks 3.
+	MaxDepth int
+}
+
+// DefaultConfig returns the configuration used by the benchmarks.
+func DefaultConfig() Config { return Config{} }
+
+func (c *Config) normalize() {
+	if c.Eps <= 0 {
+		c.Eps = 32
+	}
+	if c.BinCap <= 0 {
+		c.BinCap = 64
+	}
+	if c.BinFanout <= 0 {
+		c.BinFanout = 4
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+}
+
+// bin is one insert absorber: either a sorted leaf (children == nil) or
+// a router over its children (level bin).
+type bin struct {
+	mu       sync.Mutex
+	k, v     []uint64
+	dead     []bool
+	children []*bin
+	pivots   []uint64 // children[i] covers [pivots[i-1], pivots[i])
+}
+
+// segment is one model over an immutable base run plus its bin tree.
+type segment struct {
+	firstKey  uint64
+	slope     float64
+	intercept float64
+	maxErr    int
+	keys      []uint64 // immutable base
+	vals      []uint64
+	root      *bin
+	binKeys   atomic.Int64 // live entries absorbed by bins
+}
+
+type table struct {
+	firsts []uint64
+	segs   []*segment
+}
+
+// Index is the FINEdex-style index.
+type Index struct {
+	cfg      Config
+	structMu sync.RWMutex // guards tab swaps (retraining)
+	tab      atomic.Pointer[table]
+	length   atomic.Int64
+
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
+}
+
+// New returns an empty index.
+func New(cfg Config) *Index {
+	cfg.normalize()
+	ix := &Index{cfg: cfg}
+	seg := &segment{root: &bin{}}
+	ix.tab.Store(&table{firsts: []uint64{0}, segs: []*segment{seg}})
+	return ix
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "finedex" }
+
+// Len returns the number of live entries.
+func (ix *Index) Len() int { return int(ix.length.Load()) }
+
+// ConcurrentReads reports that concurrent Gets are safe.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// ConcurrentWrites reports that concurrent Inserts are safe (the
+// fine-grained bins are FINEdex's whole point).
+func (ix *Index) ConcurrentWrites() bool { return true }
+
+// RetrainStats implements index.RetrainReporter.
+func (ix *Index) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), ix.retrainNs.Load()
+}
+
+// BulkLoad builds error-bounded models over sorted distinct keys.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	if values == nil {
+		values = make([]uint64, len(keys))
+	}
+	ix.tab.Store(buildTable(keys, values, ix.cfg.Eps))
+	ix.length.Store(int64(len(keys)))
+	return nil
+}
+
+func buildTable(keys, values []uint64, eps int) *table {
+	if len(keys) == 0 {
+		return &table{firsts: []uint64{0}, segs: []*segment{{root: &bin{}}}}
+	}
+	plaSegs := pla.BuildOptPLA(keys, eps)
+	t := &table{
+		firsts: make([]uint64, len(plaSegs)),
+		segs:   make([]*segment, len(plaSegs)),
+	}
+	for i, s := range plaSegs {
+		seg := &segment{
+			firstKey:  s.FirstKey,
+			slope:     s.Slope,
+			intercept: s.Intercept - float64(s.Start),
+			keys:      append([]uint64(nil), keys[s.Start:s.End]...),
+			vals:      append([]uint64(nil), values[s.Start:s.End]...),
+			root:      &bin{},
+		}
+		for j, k := range seg.keys {
+			e := seg.predict(k) - j
+			if e < 0 {
+				e = -e
+			}
+			if e > seg.maxErr {
+				seg.maxErr = e
+			}
+		}
+		t.firsts[i] = s.FirstKey
+		t.segs[i] = seg
+	}
+	return t
+}
+
+func (s *segment) predict(key uint64) int {
+	var d float64
+	if key >= s.firstKey {
+		d = float64(key - s.firstKey)
+	} else {
+		d = -float64(s.firstKey - key)
+	}
+	p := int(s.slope*d + s.intercept)
+	if p < 0 {
+		return 0
+	}
+	if p >= len(s.keys) {
+		return len(s.keys) - 1
+	}
+	return p
+}
+
+// baseSearch finds key in the immutable base with a bounded search.
+func (s *segment) baseSearch(key uint64) (int, bool) {
+	n := len(s.keys)
+	if n == 0 {
+		return 0, false
+	}
+	p := s.predict(key)
+	lo := p - s.maxErr
+	hi := p + s.maxErr + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	w := s.keys[lo:hi]
+	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	if lo+j < n && s.keys[lo+j] == key {
+		return lo + j, true
+	}
+	return lo + j, false
+}
+
+func (t *table) locate(key uint64) *segment {
+	i := sort.Search(len(t.firsts), func(i int) bool { return t.firsts[i] > key })
+	if i == 0 {
+		return t.segs[0]
+	}
+	return t.segs[i-1]
+}
+
+// descend walks the bin levels to the leaf bin responsible for key,
+// hand-over-hand, returning it locked.
+func descend(b *bin, key uint64) *bin {
+	b.mu.Lock()
+	for b.children != nil {
+		i := sort.Search(len(b.pivots), func(j int) bool { return b.pivots[j] > key })
+		child := b.children[i]
+		child.mu.Lock()
+		b.mu.Unlock()
+		b = child
+	}
+	return b
+}
+
+// binGet looks key up in the bin tree.
+func binGet(b *bin, key uint64) (uint64, bool, bool) {
+	b = descend(b, key)
+	defer b.mu.Unlock()
+	i := sort.Search(len(b.k), func(j int) bool { return b.k[j] >= key })
+	if i < len(b.k) && b.k[i] == key {
+		return b.v[i], b.dead[i], true
+	}
+	return 0, false, false
+}
+
+// Get returns the value stored under key.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	ix.structMu.RLock()
+	defer ix.structMu.RUnlock()
+	seg := ix.tab.Load().locate(key)
+	// Bins are newer than the base.
+	if v, dead, ok := binGet(seg.root, key); ok {
+		return v, !dead && ok
+	}
+	if i, ok := seg.baseSearch(key); ok {
+		return seg.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores value under key, replacing any existing value. Safe for
+// concurrent use; writers contend only on the leaf bin they touch.
+func (ix *Index) Insert(key, value uint64) error {
+	ix.upsert(key, value, false)
+	return nil
+}
+
+// Delete removes key (tombstone in a bin when the key lives in the base).
+func (ix *Index) Delete(key uint64) bool {
+	return ix.upsert(key, 0, true)
+}
+
+// upsert returns whether the key was live before the operation.
+func (ix *Index) upsert(key, value uint64, dead bool) bool {
+	ix.structMu.RLock()
+	seg := ix.tab.Load().locate(key)
+	b := descend(seg.root, key)
+	i := sort.Search(len(b.k), func(j int) bool { return b.k[j] >= key })
+	wasLive := false
+	if i < len(b.k) && b.k[i] == key {
+		wasLive = !b.dead[i]
+		if dead && !wasLive {
+			b.mu.Unlock()
+			ix.structMu.RUnlock()
+			return false
+		}
+		b.v[i] = value
+		b.dead[i] = dead
+	} else {
+		_, inBase := seg.baseSearch(key)
+		wasLive = inBase
+		if dead && !inBase {
+			b.mu.Unlock()
+			ix.structMu.RUnlock()
+			return false
+		}
+		if !dead && inBase {
+			// Pure update of a base key: shadow it in the bin.
+			dead = false
+		}
+		b.k = append(b.k, 0)
+		b.v = append(b.v, 0)
+		b.dead = append(b.dead, false)
+		copy(b.k[i+1:], b.k[i:])
+		copy(b.v[i+1:], b.v[i:])
+		copy(b.dead[i+1:], b.dead[i:])
+		b.k[i] = key
+		b.v[i] = value
+		b.dead[i] = dead
+		seg.binKeys.Add(1)
+	}
+	full := len(b.k) >= ix.cfg.BinCap
+	if full {
+		ix.splitBin(seg, b, key)
+	}
+	b.mu.Unlock()
+	switch {
+	case dead && wasLive:
+		ix.length.Add(-1)
+	case !dead && !wasLive:
+		ix.length.Add(1)
+	}
+	needRetrain := int(seg.binKeys.Load()) > len(seg.keys)/2+4*ix.cfg.BinCap
+	ix.structMu.RUnlock()
+	if needRetrain {
+		ix.retrainSegment(seg)
+	}
+	return wasLive
+}
+
+// splitBin turns a full leaf bin into a router over BinFanout children
+// (a new bin level), unless the level budget is exhausted — then the
+// segment-level retrain will pick it up. Called with b locked.
+func (ix *Index) splitBin(seg *segment, b *bin, key uint64) {
+	depth := binDepth(seg.root, key, ix.cfg.MaxDepth+1)
+	if depth > ix.cfg.MaxDepth {
+		return // leave it oversized; retrain will rebuild the segment
+	}
+	n := len(b.k)
+	fan := ix.cfg.BinFanout
+	children := make([]*bin, fan)
+	pivots := make([]uint64, fan-1)
+	per := (n + fan - 1) / fan
+	for c := 0; c < fan; c++ {
+		lo := c * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		children[c] = &bin{
+			k:    append([]uint64(nil), b.k[lo:hi]...),
+			v:    append([]uint64(nil), b.v[lo:hi]...),
+			dead: append([]bool(nil), b.dead[lo:hi]...),
+		}
+		if c < fan-1 {
+			if hi < n {
+				pivots[c] = b.k[hi]
+			} else {
+				pivots[c] = ^uint64(0)
+			}
+		}
+	}
+	b.children = children
+	b.pivots = pivots
+	b.k, b.v, b.dead = nil, nil, nil
+}
+
+// binDepth returns the leaf depth on key's path (1 = root is the leaf).
+func binDepth(b *bin, key uint64, limit int) int {
+	d := 1
+	for b.children != nil && d <= limit {
+		i := sort.Search(len(b.pivots), func(j int) bool { return b.pivots[j] > key })
+		b = b.children[i]
+		d++
+	}
+	return d
+}
+
+// retrainSegment merges a segment's base with its bins and re-segments,
+// swapping the new segments into a fresh table ("retrain one segment").
+func (ix *Index) retrainSegment(old *segment) {
+	start := time.Now()
+	ix.structMu.Lock()
+	defer ix.structMu.Unlock()
+	cur := ix.tab.Load()
+	pos := -1
+	for i, s := range cur.segs {
+		if s == old {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return // someone else already retrained it
+	}
+	keys, vals := old.merged()
+	repl := buildTable(keys, vals, ix.cfg.Eps)
+	nt := &table{
+		firsts: make([]uint64, 0, len(cur.firsts)+len(repl.firsts)-1),
+		segs:   make([]*segment, 0, len(cur.segs)+len(repl.segs)-1),
+	}
+	nt.firsts = append(nt.firsts, cur.firsts[:pos]...)
+	nt.segs = append(nt.segs, cur.segs[:pos]...)
+	if len(keys) > 0 {
+		nt.firsts = append(nt.firsts, repl.firsts...)
+		nt.segs = append(nt.segs, repl.segs...)
+	} else {
+		nt.firsts = append(nt.firsts, old.firstKey)
+		nt.segs = append(nt.segs, &segment{firstKey: old.firstKey, root: &bin{}})
+	}
+	nt.firsts = append(nt.firsts, cur.firsts[pos+1:]...)
+	nt.segs = append(nt.segs, cur.segs[pos+1:]...)
+	// Keep the table's floor invariant: the first boundary must not rise.
+	if pos == 0 && len(nt.firsts) > 0 {
+		nt.firsts[0] = cur.firsts[0]
+	}
+	ix.tab.Store(nt)
+	ix.retrains.Add(1)
+	ix.retrainNs.Add(time.Since(start).Nanoseconds())
+}
+
+// merged returns the segment's live entries (base shadowed by bins).
+func (s *segment) merged() ([]uint64, []uint64) {
+	type kv struct {
+		k, v uint64
+		dead bool
+	}
+	var overlay []kv
+	var walk func(b *bin)
+	walk = func(b *bin) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.children != nil {
+			for _, c := range b.children {
+				walk(c)
+			}
+			return
+		}
+		for i := range b.k {
+			overlay = append(overlay, kv{b.k[i], b.v[i], b.dead[i]})
+		}
+	}
+	walk(s.root)
+	sort.Slice(overlay, func(i, j int) bool { return overlay[i].k < overlay[j].k })
+	keys := make([]uint64, 0, len(s.keys)+len(overlay))
+	vals := make([]uint64, 0, len(s.keys)+len(overlay))
+	bi, oi := 0, 0
+	for bi < len(s.keys) || oi < len(overlay) {
+		switch {
+		case oi >= len(overlay) || (bi < len(s.keys) && s.keys[bi] < overlay[oi].k):
+			keys = append(keys, s.keys[bi])
+			vals = append(vals, s.vals[bi])
+			bi++
+		case bi >= len(s.keys) || overlay[oi].k < s.keys[bi]:
+			if !overlay[oi].dead {
+				keys = append(keys, overlay[oi].k)
+				vals = append(vals, overlay[oi].v)
+			}
+			oi++
+		default:
+			if !overlay[oi].dead {
+				keys = append(keys, overlay[oi].k)
+				vals = append(vals, overlay[oi].v)
+			}
+			bi++
+			oi++
+		}
+	}
+	return keys, vals
+}
+
+// Scan visits live entries with key >= start in ascending order (not
+// atomic with respect to concurrent writers).
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	ix.structMu.RLock()
+	defer ix.structMu.RUnlock()
+	t := ix.tab.Load()
+	count := 0
+	from := sort.Search(len(t.firsts), func(i int) bool { return t.firsts[i] > start })
+	if from > 0 {
+		from--
+	}
+	for si := from; si < len(t.segs); si++ {
+		keys, vals := t.segs[si].merged()
+		for i := sort.Search(len(keys), func(j int) bool { return keys[j] >= start }); i < len(keys); i++ {
+			if n > 0 && count >= n {
+				return
+			}
+			if !fn(keys[i], vals[i]) {
+				return
+			}
+			count++
+		}
+	}
+}
+
+// AvgDepth reports the segment locate plus the model stage.
+func (ix *Index) AvgDepth() float64 { return 2 }
+
+// SegmentCount returns the current model count.
+func (ix *Index) SegmentCount() int { return len(ix.tab.Load().segs) }
+
+// Sizes reports the footprint.
+func (ix *Index) Sizes() index.Sizes {
+	ix.structMu.RLock()
+	defer ix.structMu.RUnlock()
+	t := ix.tab.Load()
+	var st, kb, vb int64
+	st += int64(len(t.firsts)) * 8
+	for _, s := range t.segs {
+		st += 64
+		kb += int64(len(s.keys)) * 8
+		vb += int64(len(s.vals)) * 8
+		bk := s.binKeys.Load()
+		kb += bk * 8
+		vb += bk * 8
+		st += bk // dead flags and bin headers, approximately
+	}
+	return index.Sizes{Structure: st, Keys: kb, Values: vb}
+}

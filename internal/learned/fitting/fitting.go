@@ -1,0 +1,466 @@
+// Package fitting implements the FITing-tree: error-bounded linear
+// segments as leaves (built, per the paper's §III-A1 methodology, with
+// the improved optimal PLA rather than the original greedy algorithm)
+// under a B+tree inner structure that maps segment start keys to leaves.
+//
+// Both of the paper's insertion strategies are provided:
+//
+//   - Inplace: each leaf reserves free slots; inserts shift existing keys
+//     to open a gap at the insertion point (cheap space, expensive moves).
+//   - Buffer: each leaf carries a sorted side buffer; when the buffer
+//     fills, it is merged with the leaf and the node is retrained
+//     ("retrain one node", possibly splitting into several segments).
+package fitting
+
+import (
+	"sort"
+	"time"
+
+	"learnedpieces/internal/btree"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Mode selects the insertion strategy.
+type Mode int
+
+const (
+	// Inplace reserves free slots inside each leaf (FITing-tree-inp).
+	Inplace Mode = iota
+	// Buffer gives each leaf a sorted side buffer (FITing-tree-buf).
+	Buffer
+)
+
+// Algorithm selects the segmentation algorithm.
+type Algorithm int
+
+const (
+	// OptPLA is the improved optimal PLA the paper substitutes for the
+	// original greedy algorithm (§III-A1).
+	OptPLA Algorithm = iota
+	// GreedyFSW is FITing-tree's original feasible-space-window greedy.
+	GreedyFSW
+)
+
+// Config controls segmentation and reserved space.
+type Config struct {
+	Mode Mode
+	// Algorithm picks the segmentation algorithm (default OptPLA, per the
+	// paper's methodology).
+	Algorithm Algorithm
+	// Eps is the maximum segment error; <= 0 picks 32.
+	Eps int
+	// Reserve is the reserved slot count per leaf (Inplace) or the buffer
+	// capacity (Buffer); <= 0 picks 256. Fig 18 sweeps this value.
+	Reserve int
+}
+
+// DefaultConfig returns the buffer variant with the paper's defaults.
+func DefaultConfig() Config { return Config{Mode: Buffer, Eps: 32, Reserve: 256} }
+
+func (c *Config) normalize() {
+	if c.Eps <= 0 {
+		c.Eps = 32
+	}
+	if c.Reserve <= 0 {
+		c.Reserve = 256
+	}
+}
+
+type segLeaf struct {
+	firstKey  uint64
+	slope     float64
+	intercept float64 // predicts local position in keys
+	maxErr    int     // widened by one per in-place insert/delete
+	keys      []uint64
+	vals      []uint64
+	// Buffer mode: sorted side buffer.
+	bufK []uint64
+	bufV []uint64
+}
+
+func (l *segLeaf) predict(key uint64) int {
+	var d float64
+	if key >= l.firstKey {
+		d = float64(key - l.firstKey)
+	} else {
+		d = -float64(l.firstKey - key)
+	}
+	p := int(l.slope*d + l.intercept)
+	if p < 0 {
+		return 0
+	}
+	if p >= len(l.keys) {
+		return len(l.keys) - 1
+	}
+	return p
+}
+
+// search finds key in the leaf's base array with an error-bounded binary
+// search around the model prediction.
+func (l *segLeaf) search(key uint64) (int, bool) {
+	n := len(l.keys)
+	if n == 0 {
+		return 0, false
+	}
+	p := l.predict(key)
+	lo := p - l.maxErr
+	hi := p + l.maxErr + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	w := l.keys[lo:hi]
+	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	if j < len(w) && w[j] == key {
+		return lo + j, true
+	}
+	return lo + j, false
+}
+
+// Index is the FITing-tree.
+type Index struct {
+	cfg    Config
+	inner  *btree.BTree // segment firstKey -> index into leaves
+	leaves []*segLeaf
+	length int
+
+	retrains  int64
+	retrainNs int64
+}
+
+// New returns an empty FITing-tree.
+func New(cfg Config) *Index {
+	cfg.normalize()
+	return &Index{cfg: cfg, inner: btree.New()}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string {
+	if ix.cfg.Mode == Inplace {
+		return "fiting-inp"
+	}
+	return "fiting-buf"
+}
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return ix.length }
+
+// ConcurrentReads reports that concurrent Gets are safe between writes.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// RetrainStats implements index.RetrainReporter.
+func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+
+// BulkLoad segments sorted keys with Opt-PLA and builds the inner B+tree.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.inner = btree.New()
+	ix.leaves = ix.leaves[:0]
+	ix.length = len(keys)
+	if len(keys) == 0 {
+		return nil
+	}
+	segs := ix.segment(keys)
+	firsts := make([]uint64, len(segs))
+	ids := make([]uint64, len(segs))
+	for i, s := range segs {
+		l := ix.newLeaf(keys[s.Start:s.End], valSlice(values, s.Start, s.End), s)
+		ix.leaves = append(ix.leaves, l)
+		firsts[i] = s.FirstKey
+		ids[i] = uint64(i)
+	}
+	return ix.inner.BulkLoad(firsts, ids)
+}
+
+// segment runs the configured segmentation algorithm.
+func (ix *Index) segment(keys []uint64) []pla.Segment {
+	if ix.cfg.Algorithm == GreedyFSW {
+		return pla.BuildGreedy(keys, ix.cfg.Eps)
+	}
+	return pla.BuildOptPLA(keys, ix.cfg.Eps)
+}
+
+func valSlice(values []uint64, start, end int) []uint64 {
+	if values == nil {
+		return nil
+	}
+	return values[start:end]
+}
+
+// newLeaf copies the key/value run into a leaf with reserved capacity and
+// a local version of the segment's model.
+func (ix *Index) newLeaf(keys, values []uint64, s pla.Segment) *segLeaf {
+	capHint := len(keys)
+	if ix.cfg.Mode == Inplace {
+		capHint += ix.cfg.Reserve
+	}
+	l := &segLeaf{
+		firstKey:  s.FirstKey,
+		slope:     s.Slope,
+		intercept: s.Intercept - float64(s.Start),
+		keys:      make([]uint64, len(keys), capHint),
+		vals:      make([]uint64, len(keys), capHint),
+	}
+	copy(l.keys, keys)
+	if values != nil {
+		copy(l.vals, values)
+	}
+	// Re-measure the error bound against the leaf-local model: shifting
+	// the intercept changes float64 rounding, so the segment's global
+	// MaxErr is not a valid bound for the re-anchored predictions.
+	for i, k := range l.keys {
+		e := l.predict(k) - i
+		if e < 0 {
+			e = -e
+		}
+		if e > l.maxErr {
+			l.maxErr = e
+		}
+	}
+	return l
+}
+
+// leafFor locates the leaf whose key range contains key (the leftmost
+// leaf when key precedes every segment). It returns nil only when the
+// index is empty.
+func (ix *Index) leafFor(key uint64) *segLeaf {
+	if len(ix.leaves) == 0 {
+		return nil
+	}
+	_, id, ok := ix.inner.Floor(key)
+	if !ok {
+		// Key precedes the first segment.
+		ix.inner.Scan(0, 1, func(k, v uint64) bool { id = v; return true })
+	}
+	return ix.leaves[id]
+}
+
+// Get returns the value stored under key.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	l := ix.leafFor(key)
+	if l == nil {
+		return 0, false
+	}
+	if i, ok := l.search(key); ok {
+		return l.vals[i], true
+	}
+	if ix.cfg.Mode == Buffer {
+		if i, ok := bufSearch(l.bufK, key); ok {
+			return l.bufV[i], true
+		}
+	}
+	return 0, false
+}
+
+func bufSearch(buf []uint64, key uint64) (int, bool) {
+	i := sort.Search(len(buf), func(j int) bool { return buf[j] >= key })
+	if i < len(buf) && buf[i] == key {
+		return i, true
+	}
+	return i, false
+}
+
+// Insert stores value under key, replacing any existing value.
+func (ix *Index) Insert(key, value uint64) error {
+	l := ix.leafFor(key)
+	if l == nil {
+		seg := pla.Segment{FirstKey: key, Start: 0, End: 1}
+		nl := ix.newLeaf([]uint64{key}, []uint64{value}, seg)
+		ix.leaves = append(ix.leaves, nl)
+		ix.inner.Insert(key, uint64(len(ix.leaves)-1))
+		ix.length = 1
+		return nil
+	}
+	if i, ok := l.search(key); ok {
+		l.vals[i] = value
+		return nil
+	}
+	if ix.cfg.Mode == Buffer {
+		i, ok := bufSearch(l.bufK, key)
+		if ok {
+			l.bufV[i] = value
+			return nil
+		}
+		l.bufK = append(l.bufK, 0)
+		l.bufV = append(l.bufV, 0)
+		copy(l.bufK[i+1:], l.bufK[i:])
+		copy(l.bufV[i+1:], l.bufV[i:])
+		l.bufK[i] = key
+		l.bufV[i] = value
+		ix.length++
+		if len(l.bufK) >= ix.cfg.Reserve {
+			ix.retrainLeaf(l)
+		}
+		return nil
+	}
+	// Inplace: shift to open a gap at the insertion point.
+	if len(l.keys) == cap(l.keys) {
+		ix.retrainLeafWith(l, key, value)
+		ix.length++
+		return nil
+	}
+	i, _ := l.search(key)
+	// search returns a window-local position for misses; recover the exact
+	// rank with a bounded scan.
+	for i > 0 && l.keys[i-1] > key {
+		i--
+	}
+	for i < len(l.keys) && l.keys[i] < key {
+		i++
+	}
+	l.keys = append(l.keys, 0)
+	l.vals = append(l.vals, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	copy(l.vals[i+1:], l.vals[i:])
+	l.keys[i] = key
+	l.vals[i] = value
+	l.maxErr++ // positions shifted by at most one more slot
+	ix.length++
+	return nil
+}
+
+// retrainLeaf merges a leaf with its buffer and re-segments it.
+func (ix *Index) retrainLeaf(l *segLeaf) {
+	keys := make([]uint64, 0, len(l.keys)+len(l.bufK))
+	vals := make([]uint64, 0, len(l.keys)+len(l.bufK))
+	i, j := 0, 0
+	for i < len(l.keys) || j < len(l.bufK) {
+		if j >= len(l.bufK) || (i < len(l.keys) && l.keys[i] < l.bufK[j]) {
+			keys = append(keys, l.keys[i])
+			vals = append(vals, l.vals[i])
+			i++
+		} else {
+			keys = append(keys, l.bufK[j])
+			vals = append(vals, l.bufV[j])
+			j++
+		}
+	}
+	ix.replaceLeaf(l, keys, vals)
+}
+
+// retrainLeafWith re-segments a full inplace leaf together with one new
+// key.
+func (ix *Index) retrainLeafWith(l *segLeaf, key, value uint64) {
+	keys := make([]uint64, 0, len(l.keys)+1)
+	vals := make([]uint64, 0, len(l.keys)+1)
+	pos := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	keys = append(keys, l.keys[:pos]...)
+	vals = append(vals, l.vals[:pos]...)
+	keys = append(keys, key)
+	vals = append(vals, value)
+	keys = append(keys, l.keys[pos:]...)
+	vals = append(vals, l.vals[pos:]...)
+	ix.replaceLeaf(l, keys, vals)
+}
+
+// replaceLeaf re-runs Opt-PLA over the merged keys and swaps the
+// resulting segment leaves into the inner tree ("retrain one node").
+func (ix *Index) replaceLeaf(old *segLeaf, keys, vals []uint64) {
+	start := time.Now()
+	ix.inner.Delete(old.firstKey)
+	segs := ix.segment(keys)
+	for _, s := range segs {
+		nl := ix.newLeaf(keys[s.Start:s.End], vals[s.Start:s.End], s)
+		ix.leaves = append(ix.leaves, nl)
+		ix.inner.Insert(s.FirstKey, uint64(len(ix.leaves)-1))
+	}
+	ix.retrains++
+	ix.retrainNs += time.Since(start).Nanoseconds()
+}
+
+// Delete removes key and reports whether it was present.
+func (ix *Index) Delete(key uint64) bool {
+	l := ix.leafFor(key)
+	if l == nil {
+		return false
+	}
+	if i, ok := l.search(key); ok {
+		copy(l.keys[i:], l.keys[i+1:])
+		copy(l.vals[i:], l.vals[i+1:])
+		l.keys = l.keys[:len(l.keys)-1]
+		l.vals = l.vals[:len(l.vals)-1]
+		l.maxErr++
+		ix.length--
+		return true
+	}
+	if ix.cfg.Mode == Buffer {
+		if i, ok := bufSearch(l.bufK, key); ok {
+			l.bufK = append(l.bufK[:i], l.bufK[i+1:]...)
+			l.bufV = append(l.bufV[:i], l.bufV[i+1:]...)
+			ix.length--
+			return true
+		}
+	}
+	return false
+}
+
+// Scan visits entries with key >= start in ascending order, merging each
+// leaf's base array with its buffer.
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	count := 0
+	stop := false
+	emit := func(k, v uint64) bool {
+		if k < start {
+			return true
+		}
+		if n > 0 && count >= n {
+			stop = true
+			return false
+		}
+		if !fn(k, v) {
+			stop = true
+			return false
+		}
+		count++
+		return true
+	}
+	from := uint64(0)
+	if _, _, ok := ix.inner.Floor(start); ok {
+		k, _, _ := ix.inner.Floor(start)
+		from = k
+	}
+	ix.inner.Scan(from, 0, func(_, id uint64) bool {
+		l := ix.leaves[id]
+		i, j := 0, 0
+		for i < len(l.keys) || j < len(l.bufK) {
+			var k, v uint64
+			if j >= len(l.bufK) || (i < len(l.keys) && l.keys[i] < l.bufK[j]) {
+				k, v = l.keys[i], l.vals[i]
+				i++
+			} else {
+				k, v = l.bufK[j], l.bufV[j]
+				j++
+			}
+			if !emit(k, v) {
+				return false
+			}
+		}
+		return !stop
+	})
+}
+
+// AvgDepth reports the inner B+tree depth (Table II).
+func (ix *Index) AvgDepth() float64 { return ix.inner.AvgDepth() }
+
+// LeafCount returns the live segment count.
+func (ix *Index) LeafCount() int { return ix.inner.Len() }
+
+// Sizes reports the footprint: inner tree and models are structure.
+func (ix *Index) Sizes() index.Sizes {
+	inner := ix.inner.Sizes()
+	var keyBytes, valBytes, modelBytes int64
+	ix.inner.Scan(0, 0, func(_, id uint64) bool {
+		l := ix.leaves[id]
+		modelBytes += 48
+		keyBytes += int64(cap(l.keys)+len(l.bufK)) * 8
+		valBytes += int64(cap(l.vals)+len(l.bufV)) * 8
+		return true
+	})
+	return index.Sizes{
+		Structure: inner.Structure + inner.Keys + inner.Values + modelBytes,
+		Keys:      keyBytes,
+		Values:    valBytes,
+	}
+}

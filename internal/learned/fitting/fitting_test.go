@@ -1,0 +1,119 @@
+package fitting
+
+import (
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+)
+
+func TestConformanceInplace(t *testing.T) {
+	indextest.RunAll(t, "fiting-inp", func() index.Index {
+		return New(Config{Mode: Inplace, Eps: 16, Reserve: 64})
+	})
+}
+
+func TestConformanceBuffer(t *testing.T) {
+	indextest.RunAll(t, "fiting-buf", func() index.Index {
+		return New(Config{Mode: Buffer, Eps: 16, Reserve: 64})
+	})
+}
+
+func TestConformanceGreedyAlgorithm(t *testing.T) {
+	indextest.RunAll(t, "fiting-greedy", func() index.Index {
+		return New(Config{Mode: Buffer, Algorithm: GreedyFSW, Eps: 16, Reserve: 64})
+	})
+}
+
+// TestGreedyNeverFewerLeaves pins the paper's reason for substituting
+// Opt-PLA: the original greedy algorithm yields at least as many leaves.
+func TestGreedyNeverFewerLeaves(t *testing.T) {
+	keys := dataset.Generate(dataset.OSMLike, 30000, 13)
+	opt := New(Config{Algorithm: OptPLA, Eps: 16})
+	greedy := New(Config{Algorithm: GreedyFSW, Eps: 16})
+	if err := opt.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := greedy.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if greedy.LeafCount() < opt.LeafCount() {
+		t.Fatalf("greedy %d leaves < opt-pla %d", greedy.LeafCount(), opt.LeafCount())
+	}
+}
+
+func TestRetrainSplitsLeaf(t *testing.T) {
+	ix := New(Config{Mode: Buffer, Eps: 8, Reserve: 16})
+	keys := dataset.Generate(dataset.OSMLike, 4000, 7)
+	load, ins := dataset.Split(keys, 1000)
+	if err := ix.BulkLoad(load, load); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.LeafCount()
+	for _, k := range ins {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count, ns := ix.RetrainStats()
+	if count == 0 {
+		t.Fatal("no retrains after filling buffers")
+	}
+	if ns <= 0 {
+		t.Fatal("retrain time not recorded")
+	}
+	if ix.LeafCount() < before {
+		t.Fatalf("leaf count shrank from %d to %d", before, ix.LeafCount())
+	}
+	for _, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != k {
+			t.Fatalf("get(%d) = %d,%v after retrains", k, v, ok)
+		}
+	}
+}
+
+func TestInplaceReserveExhaustion(t *testing.T) {
+	// A tiny reserve forces inplace retrains; data must survive.
+	ix := New(Config{Mode: Inplace, Eps: 8, Reserve: 4})
+	keys := dataset.Generate(dataset.YCSBNormal, 3000, 9)
+	load, ins := dataset.Split(keys, 1500)
+	if err := ix.BulkLoad(load, load); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range dataset.Shuffled(ins, 10) {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(keys))
+	}
+	count, _ := ix.RetrainStats()
+	if count == 0 {
+		t.Fatal("expected retrains with reserve=4")
+	}
+	for _, k := range keys {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestInsertBelowFirstKey(t *testing.T) {
+	ix := New(DefaultConfig())
+	if err := ix.BulkLoad([]uint64{100, 200, 300}, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ix.Get(5); !ok || v != 50 {
+		t.Fatalf("get(5) = %d,%v", v, ok)
+	}
+	var first uint64
+	ix.Scan(0, 1, func(k, v uint64) bool { first = k; return true })
+	if first != 5 {
+		t.Fatalf("scan starts at %d, want 5", first)
+	}
+}

@@ -1,0 +1,433 @@
+// Package lipp implements a LIPP-style learned index (Wu et al.,
+// VLDB'21: "Updatable Learned Index with Precise Positions") — the
+// design the paper's §V-B1 identifies as the realisation of its own
+// advice (combine an asymmetric structure with a gap-making
+// approximation algorithm) but could not evaluate because LIPP was not
+// open source at the time. This package makes that evaluation possible.
+//
+// The core idea: every key sits exactly at its model-predicted slot —
+// *precise positions*, no final search at all. Each node is a linear
+// model over a slot array whose entries are either empty, a data entry,
+// or a child node; keys whose predictions collide are pushed into a
+// child node with its own (finer) model. Lookups follow predictions
+// only; inserts place into an empty slot or grow a child at the
+// conflict; subtrees whose conflict ratio grows too high are rebuilt
+// (the retraining strategy).
+package lipp
+
+import (
+	"time"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Config controls node sizing and rebuild triggers.
+type Config struct {
+	// GapFactor scales node capacity relative to the key count; <= 1
+	// picks 1.5 (the gaps that keep conflicts rare).
+	GapFactor float64
+	// MinCapacity is the smallest node slot count; <= 0 picks 8.
+	MinCapacity int
+	// ConflictRatio triggers a subtree rebuild when the conflicts created
+	// since the last build exceed ratio*keys; <= 0 picks 0.25.
+	ConflictRatio float64
+}
+
+// DefaultConfig returns the configuration used by the benchmarks.
+func DefaultConfig() Config { return Config{} }
+
+func (c *Config) normalize() {
+	if c.GapFactor <= 1 {
+		c.GapFactor = 1.5
+	}
+	if c.MinCapacity <= 0 {
+		c.MinCapacity = 8
+	}
+	if c.ConflictRatio <= 0 {
+		c.ConflictRatio = 0.25
+	}
+}
+
+type entryKind uint8
+
+const (
+	entryEmpty entryKind = iota
+	entryData
+	entryChild
+)
+
+type entry struct {
+	kind  entryKind
+	key   uint64
+	val   uint64
+	child *node
+}
+
+type node struct {
+	firstKey  uint64
+	slope     float64
+	intercept float64
+	entries   []entry
+	// keysAtBuild and conflicts drive the rebuild trigger.
+	keysAtBuild int
+	conflicts   int
+}
+
+func (nd *node) slot(key uint64) int {
+	var d float64
+	if key >= nd.firstKey {
+		d = float64(key - nd.firstKey)
+	} else {
+		d = -float64(nd.firstKey - key)
+	}
+	s := int(nd.slope*d + nd.intercept)
+	if s < 0 {
+		return 0
+	}
+	if s >= len(nd.entries) {
+		return len(nd.entries) - 1
+	}
+	return s
+}
+
+// Index is the LIPP-style index.
+type Index struct {
+	cfg    Config
+	root   *node
+	length int
+
+	retrains  int64
+	retrainNs int64
+}
+
+// New returns an empty index.
+func New(cfg Config) *Index {
+	cfg.normalize()
+	ix := &Index{cfg: cfg}
+	ix.root = ix.build(nil, nil)
+	return ix
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "lipp" }
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return ix.length }
+
+// ConcurrentReads reports that concurrent Gets are safe between writes.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// RetrainStats implements index.RetrainReporter.
+func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+
+// BulkLoad builds the tree over sorted distinct keys.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	if values == nil {
+		values = make([]uint64, len(keys))
+	}
+	ix.root = ix.build(keys, values)
+	ix.length = len(keys)
+	return nil
+}
+
+// build constructs a node over sorted keys; conflicting groups become
+// child nodes, recursively (LIPP's FMCD construction, simplified to a
+// least-squares model over a gapped capacity).
+func (ix *Index) build(keys, vals []uint64) *node {
+	n := len(keys)
+	capacity := int(float64(n)*ix.cfg.GapFactor) + 1
+	if capacity < ix.cfg.MinCapacity {
+		capacity = ix.cfg.MinCapacity
+	}
+	nd := &node{entries: make([]entry, capacity), keysAtBuild: n}
+	if n == 0 {
+		return nd
+	}
+	fit := pla.FitLinear(keys, 0, n)
+	scale := float64(capacity) / float64(n)
+	nd.firstKey = keys[0]
+	nd.slope = fit.Slope * scale
+	nd.intercept = (fit.Intercept - float64(fit.Start)) * scale
+	if nd.slope <= 0 && n > 1 {
+		// Degenerate fit: spread endpoints linearly so grouping progresses.
+		nd.slope = float64(capacity-1) / float64(keys[n-1]-keys[0])
+		nd.intercept = 0
+	}
+	// A model that maps every key to one slot makes no progress; replace
+	// it with the endpoint-spread model, which is guaranteed to separate
+	// the first and last keys for capacity >= 3.
+	if n > 1 && nd.slot(keys[0]) == nd.slot(keys[n-1]) {
+		nd.slope = float64(capacity-1) / float64(keys[n-1]-keys[0])
+		nd.intercept = 0
+	}
+	return ix.buildGrouped(nd, keys, vals)
+}
+
+// buildGrouped redoes the slot grouping after the model was replaced.
+func (ix *Index) buildGrouped(nd *node, keys, vals []uint64) *node {
+	n := len(keys)
+	i := 0
+	for i < n {
+		s := nd.slot(keys[i])
+		j := i + 1
+		for j < n && nd.slot(keys[j]) == s {
+			j++
+		}
+		if j-i == 1 {
+			nd.entries[s] = entry{kind: entryData, key: keys[i], val: vals[i]}
+		} else {
+			nd.entries[s] = entry{kind: entryChild, child: ix.build(keys[i:j], vals[i:j])}
+		}
+		i = j
+	}
+	return nd
+}
+
+// Get returns the value stored under key: pure prediction-following, no
+// local search (the "precise positions" property).
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	nd := ix.root
+	for {
+		e := &nd.entries[nd.slot(key)]
+		switch e.kind {
+		case entryEmpty:
+			return 0, false
+		case entryData:
+			if e.key == key {
+				return e.val, true
+			}
+			return 0, false
+		case entryChild:
+			nd = e.child
+		}
+	}
+}
+
+// Insert stores value under key, replacing any existing value.
+func (ix *Index) Insert(key, value uint64) error {
+	var path []*node
+	nd := ix.root
+	for {
+		path = append(path, nd)
+		s := nd.slot(key)
+		e := &nd.entries[s]
+		switch e.kind {
+		case entryEmpty:
+			*e = entry{kind: entryData, key: key, val: value}
+			ix.length++
+			ix.maybeRebuild(path)
+			return nil
+		case entryData:
+			if e.key == key {
+				e.val = value
+				return nil
+			}
+			// Conflict: both keys move into a fresh child node.
+			ka, va := e.key, e.val
+			kb, vb := key, value
+			if ka > kb {
+				ka, kb = kb, ka
+				va, vb = vb, va
+			}
+			child := ix.build([]uint64{ka, kb}, []uint64{va, vb})
+			*e = entry{kind: entryChild, child: child}
+			nd.conflicts++
+			ix.length++
+			ix.maybeRebuild(path)
+			return nil
+		case entryChild:
+			nd = e.child
+		}
+	}
+}
+
+// maybeRebuild rebuilds the topmost subtree on the path whose conflict
+// count exceeds the configured ratio of its keys — LIPP's adjustment
+// strategy keeping paths short.
+func (ix *Index) maybeRebuild(path []*node) {
+	for _, nd := range path {
+		threshold := int(ix.cfg.ConflictRatio*float64(nd.keysAtBuild)) + 8
+		if nd.conflicts < threshold {
+			continue
+		}
+		start := time.Now()
+		keys := make([]uint64, 0, nd.keysAtBuild+nd.conflicts)
+		vals := make([]uint64, 0, nd.keysAtBuild+nd.conflicts)
+		collect(nd, func(k, v uint64) bool {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			return true
+		})
+		rebuilt := ix.build(keys, vals)
+		*nd = *rebuilt
+		ix.retrains++
+		ix.retrainNs += time.Since(start).Nanoseconds()
+		return
+	}
+}
+
+// collect walks the subtree in key order.
+func collect(nd *node, fn func(k, v uint64) bool) bool {
+	for i := range nd.entries {
+		e := &nd.entries[i]
+		switch e.kind {
+		case entryData:
+			if !fn(e.key, e.val) {
+				return false
+			}
+		case entryChild:
+			if !collect(e.child, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes key and reports whether it was present. Child nodes are
+// not collapsed; the slot simply empties.
+func (ix *Index) Delete(key uint64) bool {
+	nd := ix.root
+	for {
+		e := &nd.entries[nd.slot(key)]
+		switch e.kind {
+		case entryEmpty:
+			return false
+		case entryData:
+			if e.key != key {
+				return false
+			}
+			*e = entry{}
+			ix.length--
+			return true
+		case entryChild:
+			nd = e.child
+		}
+	}
+}
+
+// Scan visits entries with key >= start in ascending key order. Slot
+// order equals key order because every node's model is monotone, so the
+// walk starts at each node's predicted slot for start and prunes
+// everything before it — short scans cost O(result + depth).
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	count := 0
+	ix.scanFrom(ix.root, start, n, &count, fn)
+}
+
+func (ix *Index) scanFrom(nd *node, start uint64, limit int, count *int, fn func(key, value uint64) bool) bool {
+	// Keys at slots below slot(start) are all < start (monotone model).
+	from := nd.slot(start)
+	for i := from; i < len(nd.entries); i++ {
+		e := &nd.entries[i]
+		switch e.kind {
+		case entryData:
+			if e.key < start {
+				continue
+			}
+			if limit > 0 && *count >= limit {
+				return false
+			}
+			if !fn(e.key, e.val) {
+				return false
+			}
+			*count++
+		case entryChild:
+			var cont bool
+			if i == from {
+				cont = ix.scanFrom(e.child, start, limit, count, fn)
+			} else {
+				// Subtrees right of the start slot hold only keys >= start.
+				cont = collectLimited(e.child, limit, count, fn)
+			}
+			if !cont {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// collectLimited walks a whole subtree in order, honouring the limit.
+func collectLimited(nd *node, limit int, count *int, fn func(k, v uint64) bool) bool {
+	for i := range nd.entries {
+		e := &nd.entries[i]
+		switch e.kind {
+		case entryData:
+			if limit > 0 && *count >= limit {
+				return false
+			}
+			if !fn(e.key, e.val) {
+				return false
+			}
+			*count++
+		case entryChild:
+			if !collectLimited(e.child, limit, count, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AvgDepth returns the key-weighted average node-path length.
+func (ix *Index) AvgDepth() float64 {
+	var sum, keys float64
+	var walk func(nd *node, d float64)
+	walk = func(nd *node, d float64) {
+		for i := range nd.entries {
+			switch nd.entries[i].kind {
+			case entryData:
+				sum += d
+				keys++
+			case entryChild:
+				walk(nd.entries[i].child, d+1)
+			}
+		}
+	}
+	walk(ix.root, 1)
+	if keys == 0 {
+		return 0
+	}
+	return sum / keys
+}
+
+// NodeCount returns the number of model nodes.
+func (ix *Index) NodeCount() int {
+	count := 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		count++
+		for i := range nd.entries {
+			if nd.entries[i].kind == entryChild {
+				walk(nd.entries[i].child)
+			}
+		}
+	}
+	walk(ix.root)
+	return count
+}
+
+// Sizes reports the footprint: entry slots hold the keys and values, so
+// unlike the other learned indexes LIPP has no separate sorted array.
+func (ix *Index) Sizes() index.Sizes {
+	var slots int64
+	var nodes int64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		nodes++
+		slots += int64(len(nd.entries))
+		for i := range nd.entries {
+			if nd.entries[i].kind == entryChild {
+				walk(nd.entries[i].child)
+			}
+		}
+	}
+	walk(ix.root)
+	return index.Sizes{
+		Structure: nodes*48 + slots, // models + per-slot kind tag
+		Keys:      slots * 8,
+		Values:    slots * 8,
+	}
+}

@@ -1,0 +1,515 @@
+// Package pgm implements the PGM-Index (Ferragina & Vinciguerra): a
+// static index of recursive optimal-PLA levels, plus the dynamic wrapper
+// that supports inserts with the LSM-style logarithmic method the paper
+// describes (§II-B2): a series of runs S0..Sb, each an independent static
+// PGM; an insert merges the occupied prefix of runs into the first empty
+// one, rebuilding that run's index ("retraining").
+package pgm
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Config controls the PGM shape.
+type Config struct {
+	// Eps is the leaf-level error bound; <= 0 picks 32.
+	Eps int
+	// EpsInternal is the error bound of internal levels; <= 0 picks 8.
+	EpsInternal int
+	// BaseSize is the capacity of run S0 in the logarithmic method;
+	// <= 0 picks 256. Fig 18 sweeps this value as "reserved space".
+	BaseSize int
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config { return Config{Eps: 32, EpsInternal: 8, BaseSize: 256} }
+
+func (c *Config) normalize() {
+	if c.Eps <= 0 {
+		c.Eps = 32
+	}
+	if c.EpsInternal <= 0 {
+		c.EpsInternal = 8
+	}
+	if c.BaseSize <= 0 {
+		c.BaseSize = 256
+	}
+}
+
+// Static is an immutable PGM over sorted distinct keys: level 0 segments
+// approximate the key array; level i>0 segments approximate the first
+// keys of level i-1's segments, recursively, until one segment remains.
+type Static struct {
+	keys   []uint64
+	vals   []uint64
+	dead   []bool // tombstones (used by the dynamic wrapper); nil = none
+	levels [][]pla.Segment
+	firsts [][]uint64 // firsts[i][j] = levels[i][j].FirstKey
+	eps    int
+	epsInt int
+}
+
+// NewStatic builds a static PGM. keys must be sorted and distinct.
+func NewStatic(keys, vals []uint64, eps, epsInternal int) *Static {
+	s := &Static{keys: keys, vals: vals, eps: eps, epsInt: epsInternal}
+	s.build()
+	return s
+}
+
+func (s *Static) build() {
+	s.levels = nil
+	s.firsts = nil
+	if len(s.keys) == 0 {
+		return
+	}
+	segs := pla.BuildOptPLA(s.keys, s.eps)
+	for {
+		s.levels = append(s.levels, segs)
+		firsts := make([]uint64, len(segs))
+		for i := range segs {
+			firsts[i] = segs[i].FirstKey
+		}
+		s.firsts = append(s.firsts, firsts)
+		if len(segs) == 1 {
+			return
+		}
+		segs = pla.BuildOptPLA(firsts, s.epsInt)
+	}
+}
+
+// Levels returns the number of model levels (Table II depth).
+func (s *Static) Levels() int { return len(s.levels) }
+
+// SegmentCount returns the leaf segment count.
+func (s *Static) SegmentCount() int {
+	if len(s.levels) == 0 {
+		return 0
+	}
+	return len(s.levels[0])
+}
+
+// find locates key's position in the key array.
+func (s *Static) find(key uint64) (int, bool) {
+	if len(s.keys) == 0 {
+		return 0, false
+	}
+	segIdx := 0
+	for lvl := len(s.levels) - 1; lvl >= 1; lvl-- {
+		seg := &s.levels[lvl][segIdx]
+		domain := s.firsts[lvl-1]
+		segIdx = floorIn(domain, seg.Predict(key), s.epsInt, key)
+	}
+	seg := &s.levels[0][segIdx]
+	p := seg.Predict(key)
+	lo := p - s.eps - 1
+	hi := p + s.eps + 2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.keys) {
+		hi = len(s.keys)
+	}
+	w := s.keys[lo:hi]
+	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	if j < len(w) && w[j] == key {
+		return lo + j, true
+	}
+	// Safety net against boundary rounding: widen once.
+	j = sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
+	if j < len(s.keys) && s.keys[j] == key {
+		return j, true
+	}
+	return 0, false
+}
+
+// floorIn returns the index of the greatest domain element <= key,
+// searching an eps window around the predicted position p and adjusting
+// outward if the window missed.
+func floorIn(domain []uint64, p, eps int, key uint64) int {
+	lo := p - eps - 1
+	hi := p + eps + 2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(domain) {
+		hi = len(domain)
+	}
+	w := domain[lo:hi]
+	j := lo + sort.Search(len(w), func(i int) bool { return w[i] > key })
+	// j is the first index in the window with domain[j] > key; adjust for
+	// the (rare) case where the true boundary lies outside the window.
+	for j < len(domain) && domain[j] <= key {
+		j++
+	}
+	for j > 0 && domain[j-1] > key {
+		j--
+	}
+	if j == 0 {
+		return 0
+	}
+	return j - 1
+}
+
+// Get returns the value at key (tombstones count as present-dead).
+func (s *Static) Get(key uint64) (val uint64, dead, ok bool) {
+	i, ok := s.find(key)
+	if !ok {
+		return 0, false, false
+	}
+	d := s.dead != nil && s.dead[i]
+	if s.vals != nil {
+		return s.vals[i], d, true
+	}
+	return 0, d, true
+}
+
+// Index is the dynamic PGM-Index: a sorted insert buffer of BaseSize
+// entries in front of the logarithmic-method runs. Inserts go to the
+// buffer; a full buffer merges into the first run with room, rebuilding
+// that run's static PGM — the retraining unit the paper measures (one
+// retrain per ~BaseSize inserts, cf. §IV-E "they retrain once for every
+// 500 inserted keys").
+type Index struct {
+	cfg    Config
+	bufK   []uint64
+	bufV   []uint64
+	bufD   []bool
+	runs   []*Static // runs[i] capacity = BaseSize << i; nil = empty
+	length int
+	dirty  bool
+
+	retrains  int64
+	retrainNs int64
+}
+
+// New returns an empty dynamic PGM-Index.
+func New(cfg Config) *Index {
+	cfg.normalize()
+	return &Index{cfg: cfg}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "pgm" }
+
+// ConcurrentReads reports that concurrent Gets are safe between writes.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// RetrainStats implements index.RetrainReporter.
+func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+
+// BulkLoad places the sorted keys in the smallest run that fits them.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.runs = nil
+	ix.bufK, ix.bufV, ix.bufD = nil, nil, nil
+	ix.length = len(keys)
+	ix.dirty = false
+	if len(keys) == 0 {
+		return nil
+	}
+	lvl := ix.levelFor(len(keys))
+	ix.runs = make([]*Static, lvl+1)
+	ix.runs[lvl] = NewStatic(keys, values, ix.cfg.Eps, ix.cfg.EpsInternal)
+	return nil
+}
+
+// bufSearch returns the buffer position of key.
+func (ix *Index) bufSearch(key uint64) (int, bool) {
+	i := sort.Search(len(ix.bufK), func(j int) bool { return ix.bufK[j] >= key })
+	return i, i < len(ix.bufK) && ix.bufK[i] == key
+}
+
+// bufUpsert writes (key,value,dead) into the sorted buffer, flushing to
+// the runs when it reaches BaseSize.
+func (ix *Index) bufUpsert(key, value uint64, dead bool) {
+	ix.dirty = true
+	i, ok := ix.bufSearch(key)
+	if ok {
+		ix.bufV[i] = value
+		ix.bufD[i] = dead
+		return
+	}
+	ix.bufK = append(ix.bufK, 0)
+	ix.bufV = append(ix.bufV, 0)
+	ix.bufD = append(ix.bufD, false)
+	copy(ix.bufK[i+1:], ix.bufK[i:])
+	copy(ix.bufV[i+1:], ix.bufV[i:])
+	copy(ix.bufD[i+1:], ix.bufD[i:])
+	ix.bufK[i] = key
+	ix.bufV[i] = value
+	ix.bufD[i] = dead
+	if len(ix.bufK) >= ix.cfg.BaseSize {
+		ix.flush()
+	}
+}
+
+// levelFor returns the smallest run level whose capacity holds n keys.
+func (ix *Index) levelFor(n int) int {
+	if n <= ix.cfg.BaseSize {
+		return 0
+	}
+	q := (n + ix.cfg.BaseSize - 1) / ix.cfg.BaseSize
+	return bits.Len(uint(q - 1))
+}
+
+// Get returns the value stored under key (buffer, then newest run).
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	if i, ok := ix.bufSearch(key); ok {
+		if ix.bufD[i] {
+			return 0, false
+		}
+		return ix.bufV[i], true
+	}
+	for _, r := range ix.runs {
+		if r == nil {
+			continue
+		}
+		if v, dead, ok := r.Get(key); ok {
+			if dead {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores value under key, replacing any existing value.
+func (ix *Index) Insert(key, value uint64) error {
+	ix.bufUpsert(key, value, false)
+	return nil
+}
+
+// Delete inserts a tombstone and reports whether the key was live.
+func (ix *Index) Delete(key uint64) bool {
+	_, ok := ix.Get(key)
+	if !ok {
+		return false
+	}
+	ix.bufUpsert(key, 0, true)
+	return true
+}
+
+// flush merges the buffer plus the occupied prefix of runs into the
+// first run with spare capacity — the logarithmic method. Each flush is
+// one retraining action.
+func (ix *Index) flush() {
+	start := time.Now()
+	mk := ix.bufK
+	mv := ix.bufV
+	md := ix.bufD
+	ix.bufK, ix.bufV, ix.bufD = nil, nil, nil
+	j := 0
+	for ; j < len(ix.runs); j++ {
+		if ix.runs[j] == nil {
+			break
+		}
+		mk, mv, md = mergeRuns(mk, mv, md, ix.runs[j])
+		ix.runs[j] = nil
+		if len(mk) <= ix.cfg.BaseSize<<uint(j) {
+			// Everything merged so far already fits at this level.
+			break
+		}
+	}
+	for len(mk) > ix.cfg.BaseSize<<uint(j) {
+		// The merged run outgrew level j: absorb further runs (occupied or
+		// not) until it fits.
+		j++
+		if j < len(ix.runs) && ix.runs[j] != nil {
+			mk, mv, md = mergeRuns(mk, mv, md, ix.runs[j])
+			ix.runs[j] = nil
+		}
+	}
+	// Drop tombstones when nothing older remains below.
+	last := true
+	for i := j + 1; i < len(ix.runs); i++ {
+		if ix.runs[i] != nil {
+			last = false
+			break
+		}
+	}
+	if last {
+		mk, mv, md = dropDead(mk, mv, md)
+	}
+	for len(ix.runs) <= j {
+		ix.runs = append(ix.runs, nil)
+	}
+	s := NewStatic(mk, mv, ix.cfg.Eps, ix.cfg.EpsInternal)
+	s.dead = md
+	ix.runs[j] = s
+	ix.retrains++
+	ix.retrainNs += time.Since(start).Nanoseconds()
+}
+
+// mergeRuns merges the (newer) triple with an (older) run, newest wins.
+func mergeRuns(nk, nv []uint64, nd []bool, old *Static) ([]uint64, []uint64, []bool) {
+	ok, ov, od := old.keys, old.vals, old.dead
+	mk := make([]uint64, 0, len(nk)+len(ok))
+	mv := make([]uint64, 0, len(nk)+len(ok))
+	md := make([]bool, 0, len(nk)+len(ok))
+	i, j := 0, 0
+	for i < len(nk) || j < len(ok) {
+		switch {
+		case j >= len(ok) || (i < len(nk) && nk[i] < ok[j]):
+			mk = append(mk, nk[i])
+			mv = append(mv, nv[i])
+			md = append(md, nd[i])
+			i++
+		case i >= len(nk) || ok[j] < nk[i]:
+			mk = append(mk, ok[j])
+			if ov != nil {
+				mv = append(mv, ov[j])
+			} else {
+				mv = append(mv, 0)
+			}
+			md = append(md, od != nil && od[j])
+			j++
+		default: // equal: newer shadows older
+			mk = append(mk, nk[i])
+			mv = append(mv, nv[i])
+			md = append(md, nd[i])
+			i++
+			j++
+		}
+	}
+	return mk, mv, md
+}
+
+func dropDead(mk, mv []uint64, md []bool) ([]uint64, []uint64, []bool) {
+	out := 0
+	for i := range mk {
+		if md[i] {
+			continue
+		}
+		mk[out], mv[out], md[out] = mk[i], mv[i], false
+		out++
+	}
+	return mk[:out], mv[:out], md[:out]
+}
+
+// Len returns the number of live entries (cached between mutations).
+func (ix *Index) Len() int {
+	if !ix.dirty {
+		return ix.length
+	}
+	n := 0
+	ix.Scan(0, 0, func(_, _ uint64) bool { n++; return true })
+	ix.length = n
+	ix.dirty = false
+	return n
+}
+
+// Scan visits live entries with key >= start in order via a k-way merge
+// of the buffer and runs (newer layers shadow older ones; layers are
+// ordered newest first).
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	type layer struct {
+		keys []uint64
+		vals []uint64
+		dead []bool
+		pos  int
+	}
+	var cs []layer
+	add := func(keys, vals []uint64, dead []bool) {
+		if len(keys) == 0 {
+			return
+		}
+		pos := sort.Search(len(keys), func(i int) bool { return keys[i] >= start })
+		if pos < len(keys) {
+			cs = append(cs, layer{keys, vals, dead, pos})
+		}
+	}
+	add(ix.bufK, ix.bufV, ix.bufD)
+	for _, r := range ix.runs {
+		if r != nil {
+			add(r.keys, r.vals, r.dead)
+		}
+	}
+	count := 0
+	for {
+		best := -1
+		var bk uint64
+		for i := range cs {
+			if cs[i].pos >= len(cs[i].keys) {
+				continue
+			}
+			k := cs[i].keys[cs[i].pos]
+			if best < 0 || k < bk {
+				best, bk = i, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := &cs[best]
+		dead := c.dead != nil && c.dead[c.pos]
+		var v uint64
+		if c.vals != nil {
+			v = c.vals[c.pos]
+		}
+		// Advance every layer sitting on the same key (older shadowed).
+		for i := range cs {
+			for cs[i].pos < len(cs[i].keys) && cs[i].keys[cs[i].pos] == bk {
+				cs[i].pos++
+			}
+		}
+		if dead {
+			continue
+		}
+		if n > 0 && count >= n {
+			return
+		}
+		if !fn(bk, v) {
+			return
+		}
+		count++
+	}
+}
+
+// AvgDepth reports the model level count of the largest run (Table II).
+func (ix *Index) AvgDepth() float64 {
+	depth := 0
+	for _, r := range ix.runs {
+		if r != nil && r.Levels() > depth {
+			depth = r.Levels()
+		}
+	}
+	return float64(depth)
+}
+
+// LeafCount returns the total leaf segment count across runs.
+func (ix *Index) LeafCount() int {
+	n := 0
+	for _, r := range ix.runs {
+		if r != nil {
+			n += r.SegmentCount()
+		}
+	}
+	return n
+}
+
+// Sizes reports the footprint: all model levels are structure; the
+// insert buffer counts toward keys/values.
+func (ix *Index) Sizes() index.Sizes {
+	st := int64(len(ix.bufD))
+	kb := int64(len(ix.bufK)) * 8
+	vb := int64(len(ix.bufV)) * 8
+	for _, r := range ix.runs {
+		if r == nil {
+			continue
+		}
+		for _, lvl := range r.levels {
+			st += int64(len(lvl)) * 56
+		}
+		for _, f := range r.firsts {
+			st += int64(len(f)) * 8
+		}
+		kb += int64(len(r.keys)) * 8
+		vb += int64(len(r.vals)) * 8
+	}
+	return index.Sizes{Structure: st, Keys: kb, Values: vb}
+}

@@ -1,0 +1,112 @@
+package pgm
+
+import (
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.RunAll(t, "pgm", func() index.Index {
+		return New(Config{Eps: 16, EpsInternal: 4, BaseSize: 64})
+	})
+}
+
+func TestStaticRecursiveLevels(t *testing.T) {
+	keys := dataset.Generate(dataset.OSMLike, 100000, 3)
+	s := NewStatic(keys, keys, 32, 8)
+	if s.Levels() < 2 {
+		t.Fatalf("expected recursive levels, got %d", s.Levels())
+	}
+	// Top level must be a single segment.
+	if len(s.levels[s.Levels()-1]) != 1 {
+		t.Fatalf("top level has %d segments", len(s.levels[s.Levels()-1]))
+	}
+	for i, k := range keys {
+		pos, ok := s.find(k)
+		if !ok || pos != i {
+			t.Fatalf("find(%d) = %d,%v want %d", k, pos, ok, i)
+		}
+	}
+}
+
+func TestLogarithmicMethodRunSizes(t *testing.T) {
+	ix := New(Config{Eps: 16, EpsInternal: 4, BaseSize: 32})
+	keys := dataset.Generate(dataset.YCSBUniform, 5000, 5)
+	for _, k := range dataset.Shuffled(keys, 6) {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invariant: run i holds at most BaseSize<<i keys.
+	for i, r := range ix.runs {
+		if r == nil {
+			continue
+		}
+		if len(r.keys) > 32<<uint(i) {
+			t.Fatalf("run %d has %d keys, cap %d", i, len(r.keys), 32<<uint(i))
+		}
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	// One retrain (flush+merge) per ~BaseSize inserts, not per insert —
+	// the buffer absorbs the rest (paper §IV-E: "once for every ~500").
+	count, _ := ix.RetrainStats()
+	want := int64(len(keys) / 32)
+	if count < want/4 || count > want*2 {
+		t.Fatalf("retrains = %d, want about %d", count, want)
+	}
+}
+
+func TestNewestRunShadowsOldest(t *testing.T) {
+	ix := New(Config{BaseSize: 4})
+	for i := 0; i < 100; i++ {
+		ix.Insert(42, uint64(i))
+	}
+	if v, ok := ix.Get(42); !ok || v != 99 {
+		t.Fatalf("get(42) = %d,%v want 99", v, ok)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after 100 upserts of one key", ix.Len())
+	}
+}
+
+func TestTombstoneAcrossMerges(t *testing.T) {
+	ix := New(Config{BaseSize: 8})
+	keys := dataset.Generate(dataset.Sequential, 200, 0)
+	for _, k := range keys {
+		ix.Insert(k, k)
+	}
+	for _, k := range keys[:100] {
+		if !ix.Delete(k) {
+			t.Fatalf("delete(%d) failed", k)
+		}
+	}
+	// Push more inserts to force merges over the tombstones.
+	for i := 1000; i < 1200; i++ {
+		ix.Insert(uint64(i), uint64(i))
+	}
+	for _, k := range keys[:100] {
+		if _, ok := ix.Get(k); ok {
+			t.Fatalf("deleted key %d resurfaced", k)
+		}
+	}
+	for _, k := range keys[100:] {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("live key %d lost", k)
+		}
+	}
+}
+
+func BenchmarkStaticFind(b *testing.B) {
+	keys := dataset.Generate(dataset.YCSBNormal, 1_000_000, 1)
+	s := NewStatic(keys, keys, 32, 8)
+	probes := dataset.Shuffled(keys, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.find(probes[i%len(probes)])
+	}
+}

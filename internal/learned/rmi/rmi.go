@@ -1,0 +1,264 @@
+// Package rmi implements a two-stage Recursive Model Index (Kraska et
+// al.): a linear root model selects one of L second-stage linear models,
+// each of which predicts the position of the key in the sorted array
+// within recorded signed error bounds. RMI is read-only: it has no
+// insertion or retraining strategy (paper Table I).
+package rmi
+
+import (
+	"math"
+	"sort"
+
+	"learnedpieces/internal/index"
+)
+
+// Config controls the RMI shape.
+type Config struct {
+	// NumLeaves is the second-stage model count; <= 0 picks n/256.
+	NumLeaves int
+}
+
+// DefaultConfig returns the configuration used by the benchmarks.
+func DefaultConfig() Config { return Config{} }
+
+type leafModel struct {
+	slope     float64
+	intercept float64
+	firstKey  uint64
+	minErr    int32 // signed bounds: actual - predicted in [minErr, maxErr]
+	maxErr    int32
+}
+
+// Index is the two-stage RMI over a flat sorted array.
+type Index struct {
+	cfg    Config
+	keys   []uint64
+	vals   []uint64
+	leaves []leafModel
+	// Root model maps key -> leaf id, anchored at keys[0].
+	rootSlope     float64
+	rootIntercept float64
+	rootFirst     uint64
+}
+
+// New returns an empty RMI; call BulkLoad before use.
+func New(cfg Config) *Index { return &Index{cfg: cfg} }
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "rmi" }
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// ConcurrentReads reports that concurrent Gets are safe.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// Insert is unsupported: RMI is a read-only learned index.
+func (ix *Index) Insert(key, value uint64) error { return index.ErrReadOnly }
+
+// BulkLoad trains the two stages over sorted distinct keys.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.keys = keys
+	ix.vals = values
+	if len(keys) == 0 {
+		ix.leaves = nil
+		return nil
+	}
+	numLeaves := ix.cfg.NumLeaves
+	if numLeaves <= 0 {
+		numLeaves = len(keys) / 256
+	}
+	if numLeaves < 1 {
+		numLeaves = 1
+	}
+
+	// Stage one: least squares of leafID = (i/n)*L over key.
+	ix.rootFirst = keys[0]
+	var sx, sy, sxx, sxy float64
+	for i, k := range keys {
+		x := float64(k - ix.rootFirst)
+		y := float64(i) * float64(numLeaves) / float64(len(keys))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(len(keys))
+	denom := fn*sxx - sx*sx
+	if denom != 0 {
+		ix.rootSlope = (fn*sxy - sx*sy) / denom
+	}
+	ix.rootIntercept = (sy - ix.rootSlope*sx) / fn
+
+	// Assign keys to leaves by the root model, then train each leaf on its
+	// assigned range. Root predictions are monotone in the key, so each
+	// leaf owns a contiguous run.
+	ix.leaves = make([]leafModel, numLeaves)
+	start := 0
+	for leafID := 0; leafID < numLeaves; leafID++ {
+		end := start
+		for end < len(keys) && ix.predictLeaf(keys[end], numLeaves) == leafID {
+			end++
+		}
+		ix.leaves[leafID] = trainLeaf(keys, start, end)
+		start = end
+	}
+	return nil
+}
+
+func (ix *Index) predictLeaf(key uint64, numLeaves int) int {
+	var d float64
+	if key >= ix.rootFirst {
+		d = float64(key - ix.rootFirst)
+	} else {
+		d = -float64(ix.rootFirst - key)
+	}
+	p := int(ix.rootSlope*d + ix.rootIntercept)
+	if p < 0 {
+		return 0
+	}
+	if p >= numLeaves {
+		return numLeaves - 1
+	}
+	return p
+}
+
+func trainLeaf(keys []uint64, start, end int) leafModel {
+	if start >= end {
+		return leafModel{intercept: float64(start)}
+	}
+	first := keys[start]
+	n := end - start
+	var sx, sy, sxx, sxy float64
+	for i := start; i < end; i++ {
+		x := float64(keys[i] - first)
+		y := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	var slope float64
+	if denom := fn*sxx - sx*sx; denom != 0 {
+		slope = (fn*sxy - sx*sy) / denom
+	}
+	intercept := (sy - slope*sx) / fn
+	m := leafModel{slope: slope, intercept: intercept, firstKey: first}
+	m.minErr = math.MaxInt32
+	m.maxErr = math.MinInt32
+	for i := start; i < end; i++ {
+		p := m.predict(keys[i], len(keys))
+		e := int32(i - p)
+		if e < m.minErr {
+			m.minErr = e
+		}
+		if e > m.maxErr {
+			m.maxErr = e
+		}
+	}
+	return m
+}
+
+func (m *leafModel) predict(key uint64, n int) int {
+	var d float64
+	if key >= m.firstKey {
+		d = float64(key - m.firstKey)
+	} else {
+		d = -float64(m.firstKey - key)
+	}
+	p := int(m.slope*d + m.intercept)
+	if p < 0 {
+		return 0
+	}
+	if p >= n {
+		return n - 1
+	}
+	return p
+}
+
+// Get returns the value stored under key using the two model stages and a
+// bounded binary search within the leaf's recorded error band.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	i, ok := ix.find(key)
+	if !ok {
+		return 0, false
+	}
+	if ix.vals != nil {
+		return ix.vals[i], true
+	}
+	return 0, true
+}
+
+func (ix *Index) find(key uint64) (int, bool) {
+	n := len(ix.keys)
+	if n == 0 {
+		return 0, false
+	}
+	leaf := &ix.leaves[ix.predictLeaf(key, len(ix.leaves))]
+	p := leaf.predict(key, n)
+	lo := p + int(leaf.minErr)
+	hi := p + int(leaf.maxErr) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	w := ix.keys[lo:hi]
+	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	if j < len(w) && w[j] == key {
+		return lo + j, true
+	}
+	return 0, false
+}
+
+// Scan visits entries with key >= start in ascending order.
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	i, ok := ix.find(start)
+	if !ok {
+		i = sort.Search(len(ix.keys), func(j int) bool { return ix.keys[j] >= start })
+	}
+	count := 0
+	for ; i < len(ix.keys); i++ {
+		if n > 0 && count >= n {
+			return
+		}
+		var v uint64
+		if ix.vals != nil {
+			v = ix.vals[i]
+		}
+		if !fn(ix.keys[i], v) {
+			return
+		}
+		count++
+	}
+}
+
+// AvgDepth reports the two model stages (Table II lists RMI as depth 2).
+func (ix *Index) AvgDepth() float64 { return 2 }
+
+// Sizes reports the footprint: models are structure, the sorted arrays
+// are keys/values.
+func (ix *Index) Sizes() index.Sizes {
+	return index.Sizes{
+		Structure: int64(len(ix.leaves))*32 + 24,
+		Keys:      int64(len(ix.keys)) * 8,
+		Values:    int64(len(ix.vals)) * 8,
+	}
+}
+
+// MaxLeafError returns the largest leaf error band width; RMI has no
+// a-priori bound (paper: "Unfixed"), this is the measured value.
+func (ix *Index) MaxLeafError() int {
+	worst := 0
+	for i := range ix.leaves {
+		if w := int(ix.leaves[i].maxErr) - int(ix.leaves[i].minErr); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}

@@ -1,0 +1,73 @@
+package rmi
+
+import (
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.RunReadOnly(t, "rmi", func() index.Index { return New(DefaultConfig()) })
+}
+
+func TestLeafAssignmentContiguous(t *testing.T) {
+	ix := New(Config{NumLeaves: 64})
+	keys := dataset.Generate(dataset.OSMLike, 30000, 4)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	// Every key must fall inside the leaf the root predicts for it and the
+	// recorded error band must cover its true position (this is the
+	// invariant that makes bounded binary search correct).
+	for i, k := range keys {
+		leafID := ix.predictLeaf(k, len(ix.leaves))
+		m := &ix.leaves[leafID]
+		p := m.predict(k, len(keys))
+		if i < p+int(m.minErr) || i > p+int(m.maxErr) {
+			t.Fatalf("key %d: position %d outside band [%d,%d]", k, i, p+int(m.minErr), p+int(m.maxErr))
+		}
+	}
+}
+
+func TestTinyAndSingleLeaf(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		ix := New(Config{NumLeaves: 1})
+		keys := dataset.Generate(dataset.Sequential, n, 0)
+		if err := ix.BulkLoad(keys, keys); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if v, ok := ix.Get(k); !ok || v != k {
+				t.Fatalf("n=%d: get(%d) = %d,%v", n, k, v, ok)
+			}
+		}
+	}
+}
+
+func TestMaxLeafErrorUnbounded(t *testing.T) {
+	// RMI gives no a-priori bound; on complex data with few leaves the
+	// measured band should be clearly nonzero (sanity of the metric).
+	ix := New(Config{NumLeaves: 4})
+	keys := dataset.Generate(dataset.OSMLike, 20000, 8)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if ix.MaxLeafError() == 0 {
+		t.Fatal("expected nonzero leaf error on OSM-like keys with 4 leaves")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	ix := New(DefaultConfig())
+	keys := dataset.Generate(dataset.YCSBNormal, 1_000_000, 1)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		b.Fatal(err)
+	}
+	probes := dataset.Shuffled(keys, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(probes[i%len(probes)])
+	}
+}

@@ -1,0 +1,199 @@
+// Package rs implements RadixSpline (Kipf et al.): a single-pass learned
+// index built from a greedy spline over the CDF plus a radix table over
+// the r most significant key bits that narrows the binary search for the
+// surrounding spline knots. RS is read-only (paper Table I) and is the
+// fastest index to (re)build, which drives its Fig 16 recovery result.
+// Its weakness — a fixed high-bit prefix that carries no information on
+// skewed data such as FACE — is what Fig 11 demonstrates.
+package rs
+
+import (
+	"sort"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Config controls the RadixSpline build.
+type Config struct {
+	// RadixBits r: table size is 2^r. The paper selects 18 for best
+	// performance. <= 0 picks 18 (capped so the table is not larger than
+	// the key count).
+	RadixBits int
+	// MaxError is the spline error bound; <= 0 picks 32.
+	MaxError int
+}
+
+// DefaultConfig returns the paper's configuration (r=18, eps=32).
+func DefaultConfig() Config { return Config{RadixBits: 18, MaxError: 32} }
+
+// Index is the RadixSpline over a flat sorted array.
+type Index struct {
+	cfg    Config
+	keys   []uint64
+	vals   []uint64
+	spline []pla.SplinePoint
+	table  []int32 // radix prefix -> first spline index with that prefix
+	shift  uint
+	eps    int
+}
+
+// New returns an empty RadixSpline; call BulkLoad before use.
+func New(cfg Config) *Index { return &Index{cfg: cfg} }
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "rs" }
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// ConcurrentReads reports that concurrent Gets are safe.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// Insert is unsupported: RadixSpline is a read-only learned index.
+func (ix *Index) Insert(key, value uint64) error { return index.ErrReadOnly }
+
+// BulkLoad builds the spline and radix table in one pass over the keys.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.keys = keys
+	ix.vals = values
+	if len(keys) == 0 {
+		ix.spline = nil
+		ix.table = nil
+		return nil
+	}
+	bits := ix.cfg.RadixBits
+	if bits <= 0 {
+		bits = 18
+	}
+	for bits > 1 && 1<<bits > len(keys) {
+		bits--
+	}
+	eps := ix.cfg.MaxError
+	if eps <= 0 {
+		eps = 32
+	}
+	ix.eps = eps
+	ix.shift = uint(64 - bits)
+	ix.spline = pla.BuildGreedySpline(keys, eps)
+
+	// table[p] = index of the first spline point whose prefix >= p, so
+	// the knots bracketing a key lie in [table[p], table[p+1]].
+	size := 1<<bits + 1
+	ix.table = make([]int32, size)
+	next := 0
+	for p := 0; p < size-1; p++ {
+		for next < len(ix.spline) && int(ix.spline[next].Key>>ix.shift) < p {
+			next++
+		}
+		ix.table[p] = int32(next)
+	}
+	ix.table[size-1] = int32(len(ix.spline))
+	return nil
+}
+
+// Get returns the value stored under key.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	i, ok := ix.find(key)
+	if !ok {
+		return 0, false
+	}
+	if ix.vals != nil {
+		return ix.vals[i], true
+	}
+	return 0, true
+}
+
+func (ix *Index) find(key uint64) (int, bool) {
+	n := len(ix.keys)
+	if n == 0 {
+		return 0, false
+	}
+	if key < ix.keys[0] || key > ix.keys[n-1] {
+		return 0, false
+	}
+	p := int(key >> ix.shift)
+	lo, hi := int(ix.table[p]), int(ix.table[p+1])
+	// Knot bracketing: find the last spline point with Key <= key within
+	// the (narrow on uniform data, wide on skewed data) table window.
+	w := ix.spline[lo:hi]
+	j := lo + sort.Search(len(w), func(i int) bool { return w[i].Key > key })
+	if j == 0 {
+		j = 1
+	}
+	pos := pla.InterpolateSpline(ix.spline, j-1, key)
+	a := pos - ix.eps
+	b := pos + ix.eps + 1
+	if a < 0 {
+		a = 0
+	}
+	if b > n {
+		b = n
+	}
+	if a >= b {
+		return 0, false
+	}
+	win := ix.keys[a:b]
+	k := sort.Search(len(win), func(i int) bool { return win[i] >= key })
+	if k < len(win) && win[k] == key {
+		return a + k, true
+	}
+	return 0, false
+}
+
+// Scan visits entries with key >= start in ascending order.
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	i, ok := ix.find(start)
+	if !ok {
+		i = sort.Search(len(ix.keys), func(j int) bool { return ix.keys[j] >= start })
+	}
+	count := 0
+	for ; i < len(ix.keys); i++ {
+		if n > 0 && count >= n {
+			return
+		}
+		var v uint64
+		if ix.vals != nil {
+			v = ix.vals[i]
+		}
+		if !fn(ix.keys[i], v) {
+			return
+		}
+		count++
+	}
+}
+
+// AvgDepth reports one table probe plus the spline stage.
+func (ix *Index) AvgDepth() float64 { return 2 }
+
+// Sizes reports the footprint: table + knots are structure.
+func (ix *Index) Sizes() index.Sizes {
+	return index.Sizes{
+		Structure: int64(len(ix.table))*4 + int64(len(ix.spline))*16,
+		Keys:      int64(len(ix.keys)) * 8,
+		Values:    int64(len(ix.vals)) * 8,
+	}
+}
+
+// SplineKnots returns the knot count (for analyses and ablations).
+func (ix *Index) SplineKnots() int { return len(ix.spline) }
+
+// TableWindow returns the average spline-search window width induced by
+// the radix table — the quantity that explodes on FACE-like skew.
+func (ix *Index) TableWindow() float64 {
+	if len(ix.table) < 2 {
+		return 0
+	}
+	var used, total int
+	for p := 0; p+1 < len(ix.table); p++ {
+		w := int(ix.table[p+1]) - int(ix.table[p])
+		if w > 0 {
+			used++
+			total += w
+		}
+	}
+	if used == 0 {
+		return float64(len(ix.spline))
+	}
+	return float64(total) / float64(used)
+}

@@ -1,0 +1,79 @@
+package rs
+
+import (
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.RunReadOnly(t, "rs", func() index.Index { return New(DefaultConfig()) })
+}
+
+func TestRadixTableInvariant(t *testing.T) {
+	ix := New(Config{RadixBits: 10, MaxError: 16})
+	keys := dataset.Generate(dataset.YCSBUniform, 50000, 2)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	// table[p] must be non-decreasing and bounded by the knot count.
+	for p := 1; p < len(ix.table); p++ {
+		if ix.table[p] < ix.table[p-1] {
+			t.Fatalf("table not monotone at %d", p)
+		}
+	}
+	if int(ix.table[len(ix.table)-1]) != len(ix.spline) {
+		t.Fatalf("table terminator %d != knots %d", ix.table[len(ix.table)-1], len(ix.spline))
+	}
+}
+
+// TestFaceSkewWindow reproduces the Fig 11 mechanism: on FACE-like keys
+// the high-bit radix prefix is nearly useless, so the per-lookup spline
+// search window is far wider than on uniform keys.
+func TestFaceSkewWindow(t *testing.T) {
+	build := func(kind dataset.Kind) *Index {
+		ix := New(Config{RadixBits: 16, MaxError: 32})
+		keys := dataset.Generate(kind, 100000, 3)
+		if err := ix.BulkLoad(keys, keys); err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	uni := build(dataset.YCSBUniform)
+	face := build(dataset.FACELike)
+	wu, wf := uni.TableWindow(), face.TableWindow()
+	if wf < wu*4 {
+		t.Fatalf("FACE window %.1f not much wider than uniform %.1f", wf, wu)
+	}
+}
+
+func TestRadixBitsCappedForSmallSets(t *testing.T) {
+	ix := New(Config{RadixBits: 18, MaxError: 8})
+	keys := dataset.Generate(dataset.YCSBUniform, 100, 4)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.table) > 256 {
+		t.Fatalf("radix table %d entries for 100 keys", len(ix.table))
+	}
+	for _, k := range keys {
+		if _, ok := ix.Get(k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	ix := New(DefaultConfig())
+	keys := dataset.Generate(dataset.YCSBNormal, 1_000_000, 1)
+	if err := ix.BulkLoad(keys, keys); err != nil {
+		b.Fatal(err)
+	}
+	probes := dataset.Shuffled(keys, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(probes[i%len(probes)])
+	}
+}

@@ -1,0 +1,548 @@
+// Package xindex implements XIndex (Tang et al.), the only learned index
+// in the paper's evaluation that supports concurrent writes (Table I).
+//
+// Structure: a root model over group pivots (the paper's two-layer RMI,
+// realised here as a trained linear stage with an error-bounded pivot
+// search) above group nodes. Each group holds an immutable sorted data
+// array approximated by fixed-partition least-squares models (LSA), plus
+// a sorted delta buffer for inserts and a temporary buffer that absorbs
+// writes while a two-phase compaction is merging buffer and data — the
+// paper's mechanism for staying writable during retraining.
+//
+// Concurrency: per-group RWMutexes (standing in for the paper's
+// optimistic concurrency + RCU), an atomically swapped root for group
+// splits, and retirement markers that redirect operations that raced
+// with a split.
+package xindex
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pla"
+)
+
+// Config controls group sizing and compaction.
+type Config struct {
+	// GroupSize is the target keys per group at build; <= 0 picks 4096.
+	GroupSize int
+	// BufferThreshold triggers compaction; <= 0 picks 256.
+	BufferThreshold int
+	// SegLen is the keys-per-model partition inside a group (LSA);
+	// <= 0 picks 256.
+	SegLen int
+}
+
+// DefaultConfig returns the configuration used by the benchmarks.
+func DefaultConfig() Config { return Config{} }
+
+func (c *Config) normalize() {
+	if c.GroupSize <= 0 {
+		c.GroupSize = 4096
+	}
+	if c.BufferThreshold <= 0 {
+		c.BufferThreshold = 256
+	}
+	if c.SegLen <= 0 {
+		c.SegLen = 256
+	}
+}
+
+// delta is a small sorted buffer with tombstones (dead entries shadow
+// older versions of the key).
+type delta struct {
+	k    []uint64
+	v    []uint64
+	dead []bool
+}
+
+func (d *delta) search(key uint64) (int, bool) {
+	i := sort.Search(len(d.k), func(j int) bool { return d.k[j] >= key })
+	return i, i < len(d.k) && d.k[i] == key
+}
+
+// upsert inserts or overwrites key.
+func (d *delta) upsert(key, val uint64, dead bool) {
+	i, ok := d.search(key)
+	if ok {
+		d.v[i] = val
+		d.dead[i] = dead
+		return
+	}
+	d.k = append(d.k, 0)
+	d.v = append(d.v, 0)
+	d.dead = append(d.dead, false)
+	copy(d.k[i+1:], d.k[i:])
+	copy(d.v[i+1:], d.v[i:])
+	copy(d.dead[i+1:], d.dead[i:])
+	d.k[i] = key
+	d.v[i] = val
+	d.dead[i] = dead
+}
+
+// groupData is the immutable sorted snapshot of a group.
+type groupData struct {
+	keys []uint64
+	vals []uint64
+	segs []pla.Segment
+}
+
+func (gd *groupData) search(key uint64) (int, bool) {
+	if len(gd.keys) == 0 {
+		return 0, false
+	}
+	s := pla.FindSegment(gd.segs, key)
+	p := s.Predict(key)
+	lo := p - s.MaxErr
+	hi := p + s.MaxErr + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(gd.keys) {
+		hi = len(gd.keys)
+	}
+	w := gd.keys[lo:hi]
+	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	if j < len(w) && w[j] == key {
+		return lo + j, true
+	}
+	return lo + j, false
+}
+
+type group struct {
+	mu         sync.RWMutex
+	pivot      uint64
+	data       *groupData
+	buf        *delta
+	tmp        *delta // absorbs writes while compacting
+	compacting bool
+	retired    bool // split away; operations must retry from the root
+}
+
+// lookupLocked searches tmp -> buf -> data (newest first). Caller holds
+// at least the read lock.
+func (g *group) lookupLocked(key uint64) (val uint64, live, found bool) {
+	if g.compacting && g.tmp != nil {
+		if i, ok := g.tmp.search(key); ok {
+			return g.tmp.v[i], !g.tmp.dead[i], true
+		}
+	}
+	if i, ok := g.buf.search(key); ok {
+		return g.buf.v[i], !g.buf.dead[i], true
+	}
+	if i, ok := g.data.search(key); ok {
+		return g.data.vals[i], true, true
+	}
+	return 0, false, false
+}
+
+// root is the immutable top structure, swapped atomically on splits.
+type root struct {
+	pivots []uint64
+	groups []*group
+	model  pla.Segment // trained over pivots; MaxErr bounds the search
+}
+
+func buildRoot(groups []*group) *root {
+	r := &root{groups: groups, pivots: make([]uint64, len(groups))}
+	for i, g := range groups {
+		r.pivots[i] = g.pivot
+	}
+	r.model = pla.FitLinear(r.pivots, 0, len(r.pivots))
+	return r
+}
+
+// groupFor returns the group whose range contains key.
+func (r *root) groupFor(key uint64) *group {
+	p := r.model.Predict(key)
+	lo := p - r.model.MaxErr - 1
+	hi := p + r.model.MaxErr + 2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.pivots) {
+		hi = len(r.pivots)
+	}
+	w := r.pivots[lo:hi]
+	j := lo + sort.Search(len(w), func(i int) bool { return w[i] > key })
+	for j < len(r.pivots) && r.pivots[j] <= key {
+		j++
+	}
+	for j > 0 && r.pivots[j-1] > key {
+		j--
+	}
+	if j == 0 {
+		return r.groups[0]
+	}
+	return r.groups[j-1]
+}
+
+// Index is the XIndex.
+type Index struct {
+	cfg     Config
+	root    atomic.Pointer[root]
+	splitMu sync.Mutex // serialises root swaps
+	length  atomic.Int64
+
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
+}
+
+// New returns an empty XIndex.
+func New(cfg Config) *Index {
+	cfg.normalize()
+	ix := &Index{cfg: cfg}
+	g := &group{data: &groupData{}, buf: &delta{}}
+	ix.root.Store(buildRoot([]*group{g}))
+	return ix
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "xindex" }
+
+// Len returns the number of live entries.
+func (ix *Index) Len() int { return int(ix.length.Load()) }
+
+// ConcurrentReads reports that concurrent Gets are safe.
+func (ix *Index) ConcurrentReads() bool { return true }
+
+// ConcurrentWrites reports that concurrent Inserts are safe — the
+// property only XIndex has among the paper's learned indexes.
+func (ix *Index) ConcurrentWrites() bool { return true }
+
+// RetrainStats implements index.RetrainReporter.
+func (ix *Index) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), ix.retrainNs.Load()
+}
+
+// BulkLoad partitions sorted keys into groups and trains all models.
+func (ix *Index) BulkLoad(keys, values []uint64) error {
+	var groups []*group
+	if len(keys) == 0 {
+		groups = []*group{{data: &groupData{}, buf: &delta{}}}
+	}
+	for start := 0; start < len(keys); start += ix.cfg.GroupSize {
+		end := start + ix.cfg.GroupSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		var vals []uint64
+		if values != nil {
+			vals = append([]uint64(nil), values[start:end]...)
+		} else {
+			vals = make([]uint64, end-start)
+		}
+		gd := &groupData{
+			keys: append([]uint64(nil), keys[start:end]...),
+			vals: vals,
+		}
+		gd.segs = pla.BuildLSA(gd.keys, ix.cfg.SegLen)
+		groups = append(groups, &group{pivot: keys[start], data: gd, buf: &delta{}})
+	}
+	ix.root.Store(buildRoot(groups))
+	ix.length.Store(int64(len(keys)))
+	return nil
+}
+
+// Get returns the value stored under key.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	for {
+		g := ix.root.Load().groupFor(key)
+		g.mu.RLock()
+		if g.retired {
+			g.mu.RUnlock()
+			runtime.Gosched() // let the splitter publish the new root
+			continue
+		}
+		v, live, found := g.lookupLocked(key)
+		g.mu.RUnlock()
+		if !found || !live {
+			return 0, false
+		}
+		return v, true
+	}
+}
+
+// Insert stores value under key, replacing any existing value. Safe for
+// concurrent use.
+func (ix *Index) Insert(key, value uint64) error {
+	ix.upsert(key, value, false)
+	return nil
+}
+
+// Delete removes key (via a tombstone) and reports whether it was live.
+func (ix *Index) Delete(key uint64) bool {
+	return ix.upsert(key, 0, true)
+}
+
+// upsert writes (key, value, dead) into the right buffer. It returns
+// whether the key was live before the operation.
+func (ix *Index) upsert(key, value uint64, dead bool) bool {
+	for {
+		g := ix.root.Load().groupFor(key)
+		g.mu.Lock()
+		if g.retired {
+			g.mu.Unlock()
+			runtime.Gosched() // let the splitter publish the new root
+			continue
+		}
+		_, wasLive, _ := g.lookupLocked(key)
+		if dead && !wasLive {
+			g.mu.Unlock()
+			return false
+		}
+		if g.compacting {
+			g.tmp.upsert(key, value, dead)
+		} else {
+			g.buf.upsert(key, value, dead)
+		}
+		switch {
+		case dead:
+			ix.length.Add(-1)
+		case !wasLive:
+			ix.length.Add(1)
+		}
+		needCompact := !g.compacting && len(g.buf.k) >= ix.cfg.BufferThreshold
+		if !needCompact {
+			g.mu.Unlock()
+			return wasLive
+		}
+		ix.compact(g) // enters with g.mu held, releases it
+		return wasLive
+	}
+}
+
+// compact runs the two-phase compaction. Phase one (lock held on entry):
+// mark compacting and open the temporary buffer. The merge then runs
+// without the lock — concurrent readers see data+buf+tmp; concurrent
+// writers land in tmp. Phase two: install the merged data, promote tmp
+// to buf, and split the group when it outgrew its bound.
+func (ix *Index) compact(g *group) {
+	start := time.Now()
+	g.compacting = true
+	g.tmp = &delta{}
+	data, buf := g.data, g.buf
+	g.mu.Unlock()
+
+	merged := mergeData(data, buf, ix.cfg.SegLen)
+
+	g.mu.Lock()
+	g.data = merged
+	g.buf = g.tmp
+	g.tmp = nil
+	g.compacting = false
+	if len(merged.keys) > 2*ix.cfg.GroupSize {
+		ix.splitGroup(g, merged) // releases g.mu
+	} else {
+		g.mu.Unlock()
+	}
+	ix.retrains.Add(1)
+	ix.retrainNs.Add(time.Since(start).Nanoseconds())
+}
+
+// mergeData merges the immutable data with a delta, dropping tombstoned
+// keys, and retrains the group's models.
+func mergeData(data *groupData, buf *delta, segLen int) *groupData {
+	keys := make([]uint64, 0, len(data.keys)+len(buf.k))
+	vals := make([]uint64, 0, len(data.keys)+len(buf.k))
+	i, j := 0, 0
+	for i < len(data.keys) || j < len(buf.k) {
+		switch {
+		case j >= len(buf.k) || (i < len(data.keys) && data.keys[i] < buf.k[j]):
+			keys = append(keys, data.keys[i])
+			vals = append(vals, data.vals[i])
+			i++
+		case i >= len(data.keys) || buf.k[j] < data.keys[i]:
+			if !buf.dead[j] {
+				keys = append(keys, buf.k[j])
+				vals = append(vals, buf.v[j])
+			}
+			j++
+		default: // same key: buffer wins
+			if !buf.dead[j] {
+				keys = append(keys, buf.k[j])
+				vals = append(vals, buf.v[j])
+			}
+			i++
+			j++
+		}
+	}
+	return &groupData{keys: keys, vals: vals, segs: pla.BuildLSA(keys, segLen)}
+}
+
+// splitGroup divides g in two and swaps in a new root. Called with g.mu
+// held; releases it. Lock order is always group -> splitMu.
+func (ix *Index) splitGroup(g *group, merged *groupData) {
+	mid := len(merged.keys) / 2
+	left := &group{
+		pivot: g.pivot,
+		data: &groupData{
+			keys: merged.keys[:mid],
+			vals: merged.vals[:mid],
+		},
+		buf: &delta{},
+	}
+	right := &group{
+		pivot: merged.keys[mid],
+		data: &groupData{
+			keys: merged.keys[mid:],
+			vals: merged.vals[mid:],
+		},
+		buf: &delta{},
+	}
+	left.data.segs = pla.BuildLSA(left.data.keys, ix.cfg.SegLen)
+	right.data.segs = pla.BuildLSA(right.data.keys, ix.cfg.SegLen)
+	// Distribute the (fresh) buffer by pivot.
+	for i, k := range g.buf.k {
+		dst := left
+		if k >= right.pivot {
+			dst = right
+		}
+		dst.buf.upsert(k, g.buf.v[i], g.buf.dead[i])
+	}
+	g.retired = true
+	g.mu.Unlock()
+
+	ix.splitMu.Lock()
+	cur := ix.root.Load()
+	groups := make([]*group, 0, len(cur.groups)+1)
+	for _, og := range cur.groups {
+		if og == g {
+			groups = append(groups, left, right)
+		} else {
+			groups = append(groups, og)
+		}
+	}
+	ix.root.Store(buildRoot(groups))
+	ix.splitMu.Unlock()
+}
+
+// Scan visits live entries with key >= start in ascending order. The
+// scan is not atomic with respect to concurrent writers (it locks one
+// group at a time).
+func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	count := 0
+	key := start
+	r := ix.root.Load()
+	gi := groupIndex(r, key)
+	for gi < len(r.groups) {
+		g := r.groups[gi]
+		g.mu.RLock()
+		if g.retired {
+			g.mu.RUnlock()
+			r = ix.root.Load()
+			gi = groupIndex(r, key)
+			continue
+		}
+		need := 0 // unbounded
+		if n > 0 {
+			need = n - count
+		}
+		entries := snapshotGroup(g, key, need)
+		g.mu.RUnlock()
+		for _, e := range entries {
+			if n > 0 && count >= n {
+				return
+			}
+			if !fn(e.k, e.v) {
+				return
+			}
+			count++
+			key = e.k + 1
+		}
+		if n > 0 && count >= n {
+			return
+		}
+		gi++
+	}
+}
+
+func groupIndex(r *root, key uint64) int {
+	j := sort.Search(len(r.pivots), func(i int) bool { return r.pivots[i] > key })
+	if j == 0 {
+		return 0
+	}
+	return j - 1
+}
+
+type kv struct{ k, v uint64 }
+
+// snapshotGroup merges a group's layers into up to `need` live ordered
+// entries >= start (need <= 0 means all). All three layers are sorted,
+// so this is a plain k-way merge with newest-layer-wins on ties — no
+// allocation beyond the result.
+func snapshotGroup(g *group, start uint64, need int) []kv {
+	type cursor struct {
+		k    []uint64
+		v    []uint64
+		dead []bool
+		pos  int
+	}
+	// Newest first: tmp shadows buf shadows data.
+	cs := make([]cursor, 0, 3)
+	if g.compacting && g.tmp != nil {
+		cs = append(cs, cursor{g.tmp.k, g.tmp.v, g.tmp.dead, 0})
+	}
+	cs = append(cs, cursor{g.buf.k, g.buf.v, g.buf.dead, 0})
+	cs = append(cs, cursor{g.data.keys, g.data.vals, nil, 0})
+	for i := range cs {
+		c := &cs[i]
+		c.pos = sort.Search(len(c.k), func(j int) bool { return c.k[j] >= start })
+	}
+	var out []kv
+	for need <= 0 || len(out) < need {
+		best := -1
+		var bk uint64
+		for i := range cs {
+			if cs[i].pos >= len(cs[i].k) {
+				continue
+			}
+			k := cs[i].k[cs[i].pos]
+			if best < 0 || k < bk {
+				best, bk = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &cs[best]
+		dead := c.dead != nil && c.dead[c.pos]
+		v := c.v[c.pos]
+		for i := range cs {
+			for cs[i].pos < len(cs[i].k) && cs[i].k[cs[i].pos] == bk {
+				cs[i].pos++
+			}
+		}
+		if !dead {
+			out = append(out, kv{bk, v})
+		}
+	}
+	return out
+}
+
+// AvgDepth reports the two root model stages (Table II).
+func (ix *Index) AvgDepth() float64 { return 2 }
+
+// GroupCount returns the current number of groups.
+func (ix *Index) GroupCount() int { return len(ix.root.Load().groups) }
+
+// Sizes reports the footprint. XIndex structure is the largest among the
+// learned indexes (Table III) because every group carries models and
+// buffers.
+func (ix *Index) Sizes() index.Sizes {
+	r := ix.root.Load()
+	var st, kb, vb int64
+	st += int64(len(r.pivots))*8 + 56
+	for _, g := range r.groups {
+		g.mu.RLock()
+		st += int64(len(g.data.segs))*56 + 64
+		kb += int64(len(g.data.keys)+len(g.buf.k)) * 8
+		vb += int64(len(g.data.vals)+len(g.buf.v)) * 8
+		g.mu.RUnlock()
+	}
+	return index.Sizes{Structure: st, Keys: kb, Values: vb}
+}

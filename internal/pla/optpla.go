@@ -1,0 +1,176 @@
+package pla
+
+// Optimal streaming piecewise-linear approximation (O'Rourke 1981), the
+// algorithm PGM-Index uses. Processing points (key, position) in key
+// order, it maintains the interval [slopeMin, slopeMax] of slopes of
+// lines that stay within eps of every point seen so far, together with
+// the two convex hulls that make the update O(1) amortised:
+//
+//   - upper hull: lower convex hull of the points (x, y+eps), the
+//     constraints a feasible line must stay below;
+//   - lower hull: upper convex hull of the points (x, y-eps), the
+//     constraints a feasible line must stay above.
+//
+// When a new point's tolerance interval falls outside the corridor spanned
+// by the two extreme lines, no single line fits and the segment is closed.
+// Taking maximal segments left to right yields the minimum possible number
+// of segments for the given error bound.
+
+type point struct{ x, y float64 }
+
+func cross(o, a, b point) float64 {
+	return (a.x-o.x)*(b.y-o.y) - (a.y-o.y)*(b.x-o.x)
+}
+
+func slope(a, b point) float64 { return (b.y - a.y) / (b.x - a.x) }
+
+// optState is the per-segment state of the streaming algorithm. All
+// coordinates are local: x = key - firstKey, y = position - startPos.
+type optState struct {
+	firstKey uint64
+	eps      float64
+	n        int // points accepted so far
+
+	upperHull []point // lower convex hull of (x, y+eps)
+	lowerHull []point // upper convex hull of (x, y-eps)
+
+	slopeMin, slopeMax float64
+	minPivot, maxPivot point // right pivot points of the extreme lines
+	minTan, maxTan     int   // tangent vertex indices on the hulls
+}
+
+func newOptState(firstKey uint64, eps int) *optState {
+	return &optState{firstKey: firstKey, eps: float64(eps)}
+}
+
+// add offers the n-th local point; it returns false when the point cannot
+// join the current segment.
+func (s *optState) add(key uint64, pos int) bool {
+	x := float64(key - s.firstKey)
+	y := float64(pos)
+	u := point{x, y + s.eps}
+	l := point{x, y - s.eps}
+
+	switch s.n {
+	case 0:
+		s.upperHull = append(s.upperHull[:0], u)
+		s.lowerHull = append(s.lowerHull[:0], l)
+		s.n = 1
+		return true
+	case 1:
+		s.slopeMin = slope(s.upperHull[0], l)
+		s.slopeMax = slope(s.lowerHull[0], u)
+		s.minPivot, s.maxPivot = l, u
+		s.minTan, s.maxTan = 0, 0
+		s.pushHulls(u, l)
+		s.n = 2
+		return true
+	}
+
+	// Feasibility: the new tolerance interval must intersect the corridor.
+	minAt := s.minPivot.y + s.slopeMin*(x-s.minPivot.x)
+	maxAt := s.maxPivot.y + s.slopeMax*(x-s.maxPivot.x)
+	if y+s.eps < minAt || y-s.eps > maxAt {
+		return false
+	}
+
+	// Tighten the minimum slope: the lower constraint at x pushes it up.
+	if y-s.eps > minAt {
+		// New min-slope line passes through l and is tangent to the lower
+		// hull of upper constraints; the tangent vertex only moves forward.
+		if s.minTan >= len(s.upperHull) {
+			s.minTan = len(s.upperHull) - 1
+		}
+		for s.minTan+1 < len(s.upperHull) &&
+			slope(s.upperHull[s.minTan+1], l) >= slope(s.upperHull[s.minTan], l) {
+			s.minTan++
+		}
+		s.slopeMin = slope(s.upperHull[s.minTan], l)
+		s.minPivot = l
+		// Vertices before the tangent can never bind again.
+		if s.minTan > 0 {
+			s.upperHull = s.upperHull[s.minTan:]
+			s.minTan = 0
+		}
+	}
+
+	// Tighten the maximum slope symmetrically.
+	if y+s.eps < maxAt {
+		if s.maxTan >= len(s.lowerHull) {
+			s.maxTan = len(s.lowerHull) - 1
+		}
+		for s.maxTan+1 < len(s.lowerHull) &&
+			slope(s.lowerHull[s.maxTan+1], u) <= slope(s.lowerHull[s.maxTan], u) {
+			s.maxTan++
+		}
+		s.slopeMax = slope(s.lowerHull[s.maxTan], u)
+		s.maxPivot = u
+		if s.maxTan > 0 {
+			s.lowerHull = s.lowerHull[s.maxTan:]
+			s.maxTan = 0
+		}
+	}
+
+	s.pushHulls(u, l)
+	s.n++
+	return true
+}
+
+// pushHulls appends the new constraint points, restoring convexity.
+func (s *optState) pushHulls(u, l point) {
+	// Lower convex hull of upper constraints: pop while the turn is not
+	// counter-clockwise.
+	for len(s.upperHull) >= 2 &&
+		cross(s.upperHull[len(s.upperHull)-2], s.upperHull[len(s.upperHull)-1], u) <= 0 {
+		s.upperHull = s.upperHull[:len(s.upperHull)-1]
+	}
+	s.upperHull = append(s.upperHull, u)
+	if s.minTan >= len(s.upperHull) {
+		s.minTan = len(s.upperHull) - 1
+	}
+	// Upper convex hull of lower constraints: pop while not clockwise.
+	for len(s.lowerHull) >= 2 &&
+		cross(s.lowerHull[len(s.lowerHull)-2], s.lowerHull[len(s.lowerHull)-1], l) >= 0 {
+		s.lowerHull = s.lowerHull[:len(s.lowerHull)-1]
+	}
+	s.lowerHull = append(s.lowerHull, l)
+	if s.maxTan >= len(s.lowerHull) {
+		s.maxTan = len(s.lowerHull) - 1
+	}
+}
+
+// segmentSlope returns a feasible slope for the accepted points.
+func (s *optState) segmentSlope() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return (s.slopeMin + s.slopeMax) / 2
+}
+
+// BuildOptPLA segments keys with the optimal streaming PLA. Every returned
+// segment satisfies MaxErr <= eps, and the number of segments is the
+// minimum achievable for that bound (up to float rounding at segment
+// boundaries).
+func BuildOptPLA(keys []uint64, eps int) []Segment {
+	if len(keys) == 0 {
+		return nil
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	var segs []Segment
+	start := 0
+	st := newOptState(keys[0], eps)
+	for i := 0; i <= len(keys); i++ {
+		if i < len(keys) && st.add(keys[i], i-start) {
+			continue
+		}
+		segs = append(segs, clampedSegment(keys, start, i, st.segmentSlope(), eps))
+		if i < len(keys) {
+			start = i
+			st = newOptState(keys[i], eps)
+			st.add(keys[i], 0)
+		}
+	}
+	return segs
+}

@@ -1,0 +1,247 @@
+// Package pla implements the approximation-CDF algorithms that form the
+// leaf-model dimension of learned indexes (paper §IV-A):
+//
+//   - LSA: fixed-length segments, least-squares fit per segment (XIndex).
+//   - OptPLA: optimal streaming piecewise-linear approximation with a
+//     guaranteed maximum error (O'Rourke'81, as used by PGM-Index).
+//   - GreedyPLA: the feasible-space-window greedy segmentation with a
+//     guaranteed maximum error (FITing-tree).
+//   - LSAGap: least squares with gaps — the model-based gapped layout of
+//     ALEX, which changes the stored-key distribution so the CDF becomes
+//     easier to approximate (see BuildLSAGap in gap.go).
+//   - GreedySpline: the one-pass spline corridor of RadixSpline
+//     (see spline.go).
+//
+// All algorithms map a sorted key array to positions; a Segment predicts
+// the global position of a key and records its guaranteed or measured
+// maximum error so lookups can bound their final binary search.
+package pla
+
+import "sort"
+
+// Segment is one linear model over a contiguous run of the sorted key
+// array. Predictions are anchored at FirstKey to preserve float64
+// precision across the full uint64 key range.
+type Segment struct {
+	FirstKey  uint64  // smallest key covered by this segment
+	Slope     float64 // positions per key unit
+	Intercept float64 // predicted position of FirstKey (global)
+	Start     int     // first covered global position (inclusive)
+	End       int     // last covered global position (exclusive)
+	MaxErr    int     // error bound for Predict within [Start,End)
+}
+
+// Predict returns the estimated global position of key, clamped to the
+// segment's range.
+func (s Segment) Predict(key uint64) int {
+	d := float64(key - s.FirstKey)
+	p := int(s.Slope*d + s.Intercept)
+	if p < s.Start {
+		return s.Start
+	}
+	if p >= s.End {
+		return s.End - 1
+	}
+	return p
+}
+
+// Len returns the number of keys the segment covers.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// FindSegment locates the segment covering key by binary search on
+// FirstKey. It returns the last segment whose FirstKey <= key (or the
+// first segment if key precedes all of them).
+func FindSegment(segs []Segment, key uint64) *Segment {
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].FirstKey > key })
+	if i == 0 {
+		return &segs[0]
+	}
+	return &segs[i-1]
+}
+
+// Metrics summarises the quality of a segmentation over its source keys:
+// the three properties the paper says a good approximation algorithm must
+// deliver simultaneously (§V-A): few segments, low average error, bounded
+// maximum error.
+type Metrics struct {
+	Segments int
+	AvgErr   float64
+	MaxErr   int
+}
+
+// Evaluate measures prediction error of segs against the keys they were
+// built from.
+func Evaluate(keys []uint64, segs []Segment) Metrics {
+	m := Metrics{Segments: len(segs)}
+	if len(keys) == 0 || len(segs) == 0 {
+		return m
+	}
+	var sum float64
+	si := 0
+	for i, k := range keys {
+		for si+1 < len(segs) && segs[si+1].Start <= i {
+			si++
+		}
+		p := segs[si].Predict(k)
+		e := p - i
+		if e < 0 {
+			e = -e
+		}
+		sum += float64(e)
+		if e > m.MaxErr {
+			m.MaxErr = e
+		}
+	}
+	m.AvgErr = sum / float64(len(keys))
+	return m
+}
+
+// BuildLSA divides keys into fixed-length segments of segLen keys and fits
+// each with ordinary least squares. It guarantees nothing about the error;
+// MaxErr on each returned segment is the measured maximum.
+func BuildLSA(keys []uint64, segLen int) []Segment {
+	if len(keys) == 0 {
+		return nil
+	}
+	if segLen <= 0 {
+		segLen = 1
+	}
+	segs := make([]Segment, 0, len(keys)/segLen+1)
+	for start := 0; start < len(keys); start += segLen {
+		end := start + segLen
+		if end > len(keys) {
+			end = len(keys)
+		}
+		segs = append(segs, fitLeastSquares(keys, start, end))
+	}
+	return segs
+}
+
+// FitLinear fits a least-squares line over keys[start:end] mapping keys
+// to their global positions (exported for consumers such as ALEX inner
+// nodes and the composer's structures).
+func FitLinear(keys []uint64, start, end int) Segment {
+	return fitLeastSquares(keys, start, end)
+}
+
+// fitLeastSquares fits y = slope*(x-x0) + intercept over keys[start:end]
+// with y the global position, and measures the max error.
+func fitLeastSquares(keys []uint64, start, end int) Segment {
+	n := end - start
+	x0 := keys[start]
+	if n == 1 {
+		return Segment{FirstKey: x0, Slope: 0, Intercept: float64(start), Start: start, End: end}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := start; i < end; i++ {
+		x := float64(keys[i] - x0)
+		y := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	denom := fn*sxx - sx*sx
+	var slope float64
+	if denom != 0 {
+		slope = (fn*sxy - sx*sy) / denom
+	}
+	intercept := (sy - slope*sx) / fn
+	seg := Segment{FirstKey: x0, Slope: slope, Intercept: intercept, Start: start, End: end}
+	for i := start; i < end; i++ {
+		e := seg.Predict(keys[i]) - i
+		if e < 0 {
+			e = -e
+		}
+		if e > seg.MaxErr {
+			seg.MaxErr = e
+		}
+	}
+	return seg
+}
+
+// BuildGreedy segments keys with the FITing-tree feasible-space-window
+// greedy algorithm: starting a segment at its first point, it maintains
+// the interval of slopes that keep every subsequent point within eps of
+// the line through the first point, and closes the segment when the
+// interval empties. MaxErr <= eps is guaranteed.
+func BuildGreedy(keys []uint64, eps int) []Segment {
+	if len(keys) == 0 {
+		return nil
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	fe := float64(eps)
+	var segs []Segment
+	start := 0
+	for start < len(keys) {
+		x0 := keys[start]
+		slMin, slMax := 0.0, 0.0
+		first := true
+		end := start + 1
+		for ; end < len(keys); end++ {
+			dx := float64(keys[end] - x0)
+			dy := float64(end - start)
+			lo := (dy - fe) / dx
+			hi := (dy + fe) / dx
+			if first {
+				slMin, slMax = lo, hi
+				first = false
+				continue
+			}
+			nMin, nMax := slMin, slMax
+			if lo > nMin {
+				nMin = lo
+			}
+			if hi < nMax {
+				nMax = hi
+			}
+			if nMin > nMax {
+				// The point does not fit; close the segment without
+				// adopting its constraints.
+				break
+			}
+			slMin, slMax = nMin, nMax
+		}
+		slope := 0.0
+		if !first {
+			slope = (slMin + slMax) / 2
+		}
+		segs = append(segs, clampedSegment(keys, start, end, slope, eps))
+		start = end
+	}
+	return segs
+}
+
+// clampedSegment builds a segment with the given slope anchored at
+// keys[start], choosing the intercept from the feasible interval so the
+// error bound holds even after float rounding, and records MaxErr.
+func clampedSegment(keys []uint64, start, end int, slope float64, eps int) Segment {
+	x0 := keys[start]
+	bLo, bHi := -1e300, 1e300
+	for i := start; i < end; i++ {
+		base := slope * float64(keys[i]-x0)
+		lo := float64(i) - float64(eps) - base
+		hi := float64(i) + float64(eps) - base
+		if lo > bLo {
+			bLo = lo
+		}
+		if hi < bHi {
+			bHi = hi
+		}
+	}
+	b := (bLo + bHi) / 2
+	seg := Segment{FirstKey: x0, Slope: slope, Intercept: b, Start: start, End: end}
+	for i := start; i < end; i++ {
+		e := seg.Predict(keys[i]) - i
+		if e < 0 {
+			e = -e
+		}
+		if e > seg.MaxErr {
+			seg.MaxErr = e
+		}
+	}
+	return seg
+}

@@ -1,0 +1,242 @@
+package pla
+
+// Final-mile search algorithms inside leaf nodes. The paper's related
+// work (§VI-A) lists the options benchmarked by SOSD: binary search,
+// bounded ("cardinal") binary search within the model's error band,
+// interpolation search, and the three-point interpolation of Van Sandt
+// et al. (SIGMOD'19). They are provided here both for the composed
+// indexes and for the BenchmarkAblationLeafSearch ablation.
+
+// SearchBinary returns the index of key in the sorted slice, or
+// (insertion point, false).
+func SearchBinary(keys []uint64, key uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// SearchBounded is the bounded binary search every learned index uses:
+// binary search within [p-maxErr, p+maxErr] around the model prediction.
+// The window must be valid (the key's true position inside it) for a
+// present key to be found.
+func SearchBounded(keys []uint64, key uint64, p, maxErr int) (int, bool) {
+	lo := p - maxErr
+	hi := p + maxErr + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(keys) {
+		hi = len(keys)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// SearchExponential grows a window outward from the prediction p until
+// it brackets key, then binary searches it (ALEX's method).
+func SearchExponential(keys []uint64, key uint64, p int) (int, bool) {
+	n := len(keys)
+	if n == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p >= n {
+		p = n - 1
+	}
+	lo, hi := p, p+1
+	if keys[p] >= key {
+		step := 1
+		for lo > 0 && keys[lo-1] >= key {
+			lo -= step
+			if lo < 0 {
+				lo = 0
+			}
+			step <<= 1
+		}
+		hi = p + 1
+	} else {
+		lo = p + 1
+		hi = p + 1
+		step := 1
+		for hi < n && keys[hi] < key {
+			lo = hi + 1
+			hi += step
+			if hi > n {
+				hi = n
+			}
+			step <<= 1
+		}
+		if hi < n {
+			hi++
+		}
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n && keys[lo] == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// SearchInterpolation is classic guarded interpolation search: each probe
+// interpolates linearly between the current bounds. O(log log n) on
+// uniform data, degrading gracefully via a binary-search guard.
+func SearchInterpolation(keys []uint64, key uint64) (int, bool) {
+	lo, hi := 0, len(keys)-1
+	if hi < 0 {
+		return 0, false
+	}
+	guard := 0
+	for lo <= hi && key >= keys[lo] && key <= keys[hi] {
+		if keys[hi] == keys[lo] {
+			break
+		}
+		var mid int
+		guard++
+		if guard > 3 && guard%2 == 0 {
+			// Fall back to bisection every other step once interpolation
+			// stops converging (skewed data).
+			mid = int(uint(lo+hi) >> 1)
+		} else {
+			frac := float64(key-keys[lo]) / float64(keys[hi]-keys[lo])
+			mid = lo + int(frac*float64(hi-lo))
+			if mid < lo {
+				mid = lo
+			}
+			if mid > hi {
+				mid = hi
+			}
+		}
+		switch {
+		case keys[mid] == key:
+			// Return the leftmost occurrence for parity with the others.
+			for mid > 0 && keys[mid-1] == key {
+				mid--
+			}
+			return mid, true
+		case keys[mid] < key:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	// Insertion point.
+	i, ok := SearchBinary(keys, key)
+	return i, ok
+}
+
+// SearchThreePoint implements three-point interpolation (Van Sandt et
+// al., "Efficiently Searching In-Memory Sorted Arrays: Revenge of the
+// Interpolation Search?"): each step fits the inverse of the CDF through
+// three reference points (lo, mid, hi) with a rational interpolant,
+// which adapts to curvature that defeats linear interpolation.
+func SearchThreePoint(keys []uint64, key uint64) (int, bool) {
+	n := len(keys)
+	if n == 0 {
+		return 0, false
+	}
+	lo, hi := 0, n-1
+	if key < keys[lo] {
+		return 0, false
+	}
+	if key > keys[hi] {
+		return n, false
+	}
+	for steps := 0; lo < hi && steps < 64; steps++ {
+		if keys[hi] == keys[lo] {
+			break
+		}
+		mid := int(uint(lo+hi) >> 1)
+		// Rational three-point interpolant: with y values (positions) at
+		// x values (keys), estimate the position of `key`.
+		x0, x1, x2 := float64(keys[lo]), float64(keys[mid]), float64(keys[hi])
+		y0, y1, y2 := float64(lo), float64(mid), float64(hi)
+		xt := float64(key)
+		est := y1 + (xt-x1)*(y2-y1)*(y1-y0)/
+			((xt-x0)*(y2-y1)+(x2-xt)*(y1-y0)+1e-300)
+		probe := int(est)
+		if probe <= lo {
+			probe = lo + 1
+		}
+		if probe >= hi {
+			probe = hi - 1
+		}
+		if probe <= lo || probe >= hi {
+			break
+		}
+		switch {
+		case keys[probe] == key:
+			for probe > 0 && keys[probe-1] == key {
+				probe--
+			}
+			return probe, true
+		case keys[probe] < key:
+			lo = probe + 1
+		default:
+			hi = probe - 1
+		}
+		if keys[lo] == key {
+			return lo, true
+		}
+		if key < keys[lo] || key > keys[hi] {
+			break
+		}
+	}
+	return SearchBinary(keys, key)
+}
+
+// SearchLinearFrom scans outward from the prediction p until it reaches
+// the key's position (the cheapest method when the model error is tiny).
+func SearchLinearFrom(keys []uint64, key uint64, p int) (int, bool) {
+	n := len(keys)
+	if n == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p >= n {
+		p = n - 1
+	}
+	for p < n-1 && keys[p] < key {
+		p++
+	}
+	for p > 0 && keys[p] > key {
+		p--
+	}
+	if keys[p] == key {
+		return p, true
+	}
+	if keys[p] < key {
+		return p + 1, false
+	}
+	return p, false
+}

@@ -1,0 +1,119 @@
+package pla
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"learnedpieces/internal/dataset"
+)
+
+type searchFn func(keys []uint64, key uint64) (int, bool)
+
+func searchers() map[string]searchFn {
+	return map[string]searchFn{
+		"binary":        SearchBinary,
+		"interpolation": SearchInterpolation,
+		"three-point":   SearchThreePoint,
+		"bounded": func(keys []uint64, key uint64) (int, bool) {
+			// Worst-case valid window: the whole array.
+			return SearchBounded(keys, key, len(keys)/2, len(keys))
+		},
+		"exponential": func(keys []uint64, key uint64) (int, bool) {
+			return SearchExponential(keys, key, len(keys)/2)
+		},
+		"linear-from": func(keys []uint64, key uint64) (int, bool) {
+			return SearchLinearFrom(keys, key, len(keys)/2)
+		},
+	}
+}
+
+// TestSearchersAgreeOnAllDistributions: every algorithm must find every
+// present key at its exact position on every dataset kind.
+func TestSearchersAgreeOnAllDistributions(t *testing.T) {
+	for _, kind := range dataset.Kinds() {
+		keys := dataset.Generate(kind, 20000, 5)
+		for name, fn := range searchers() {
+			for i := 0; i < len(keys); i += 97 {
+				pos, ok := fn(keys, keys[i])
+				if !ok || pos != i {
+					t.Fatalf("%s on %v: search(%d) = (%d,%v), want %d", name, kind, keys[i], pos, ok, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchersRejectAbsentKeys: absent keys must report not-found.
+func TestSearchersRejectAbsentKeys(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBUniform, 5000, 7)
+	rng := rand.New(rand.NewSource(8))
+	for name, fn := range searchers() {
+		for i := 0; i < 500; i++ {
+			k := rng.Uint64()
+			if j := sort.Search(len(keys), func(x int) bool { return keys[x] >= k }); j < len(keys) && keys[j] == k {
+				continue
+			}
+			if _, ok := fn(keys, k); ok {
+				t.Fatalf("%s: absent key %d found", name, k)
+			}
+		}
+	}
+}
+
+// TestSearchersQuick cross-checks each algorithm against SearchBinary on
+// arbitrary inputs.
+func TestSearchersQuick(t *testing.T) {
+	for name, fn := range searchers() {
+		name, fn := name, fn
+		f := func(raw []uint64, probe uint64) bool {
+			keys := dataset.SortedUnique(append([]uint64(nil), raw...))
+			if len(keys) == 0 {
+				return true
+			}
+			wantPos, wantOK := SearchBinary(keys, probe)
+			pos, ok := fn(keys, probe)
+			if ok != wantOK {
+				return false
+			}
+			// Insertion points may differ between algorithms for misses;
+			// only hits must agree exactly.
+			return !ok || pos == wantPos
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSearchEmptyAndSingleton(t *testing.T) {
+	for name, fn := range searchers() {
+		if _, ok := fn(nil, 42); ok {
+			t.Fatalf("%s found a key in an empty slice", name)
+		}
+		if pos, ok := fn([]uint64{7}, 7); !ok || pos != 0 {
+			t.Fatalf("%s singleton hit: (%d,%v)", name, pos, ok)
+		}
+		if _, ok := fn([]uint64{7}, 8); ok {
+			t.Fatalf("%s singleton miss reported found", name)
+		}
+	}
+}
+
+func BenchmarkSearchers(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.YCSBUniform, dataset.OSMLike} {
+		keys := dataset.Generate(kind, 1<<20, 3)
+		probes := dataset.Shuffled(keys, 4)
+		for _, name := range []string{"binary", "interpolation", "three-point"} {
+			fn := searchers()[name]
+			b.Run(kind.String()+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, ok := fn(keys, probes[i%len(probes)]); !ok {
+						b.Fatal("missing")
+					}
+				}
+			})
+		}
+	}
+}

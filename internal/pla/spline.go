@@ -1,0 +1,83 @@
+package pla
+
+// GreedySpline implements the one-pass spline corridor used by
+// RadixSpline: it selects a subset of the data points ("spline points")
+// such that linear interpolation between consecutive spline points is
+// within eps of every data point's true position.
+
+// SplinePoint is a knot of the spline: an actual data key and its
+// position in the sorted array.
+type SplinePoint struct {
+	Key uint64
+	Pos int
+}
+
+// BuildGreedySpline returns the spline knots for keys with the given
+// error bound. The first and last keys are always knots.
+func BuildGreedySpline(keys []uint64, eps int) []SplinePoint {
+	if len(keys) == 0 {
+		return nil
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	fe := float64(eps)
+	pts := []SplinePoint{{keys[0], 0}}
+	if len(keys) == 1 {
+		return pts
+	}
+	base := pts[0]
+	var lo, hi float64
+	haveCorridor := false
+	for i := 1; i < len(keys); i++ {
+		dx := float64(keys[i] - base.Key)
+		dy := float64(i - base.Pos)
+		pLo := (dy - fe) / dx
+		pHi := (dy + fe) / dx
+		if !haveCorridor {
+			lo, hi = pLo, pHi
+			haveCorridor = true
+			continue
+		}
+		// The candidate knot must itself lie inside the corridor: only then
+		// does the straight segment base->candidate stay within eps of every
+		// intermediate point.
+		s := dy / dx
+		if s < lo || s > hi {
+			// The previous point becomes a knot; restart the corridor from it.
+			base = SplinePoint{keys[i-1], i - 1}
+			pts = append(pts, base)
+			dx = float64(keys[i] - base.Key)
+			dy = float64(i - base.Pos)
+			lo = (dy - fe) / dx
+			hi = (dy + fe) / dx
+			continue
+		}
+		if pLo > lo {
+			lo = pLo
+		}
+		if pHi < hi {
+			hi = pHi
+		}
+	}
+	last := SplinePoint{keys[len(keys)-1], len(keys) - 1}
+	if pts[len(pts)-1].Key != last.Key {
+		pts = append(pts, last)
+	}
+	return pts
+}
+
+// InterpolateSpline predicts the position of key from the two knots
+// surrounding it. idx must satisfy pts[idx].Key <= key <= pts[idx+1].Key
+// (idx == len(pts)-1 is allowed for the final key).
+func InterpolateSpline(pts []SplinePoint, idx int, key uint64) int {
+	if idx >= len(pts)-1 {
+		return pts[len(pts)-1].Pos
+	}
+	a, b := pts[idx], pts[idx+1]
+	if b.Key == a.Key {
+		return a.Pos
+	}
+	frac := float64(key-a.Key) / float64(b.Key-a.Key)
+	return a.Pos + int(frac*float64(b.Pos-a.Pos))
+}

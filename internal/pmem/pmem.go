@@ -1,0 +1,198 @@
+// Package pmem simulates byte-addressable persistent memory (the paper's
+// Intel Optane PMem) for the Viper-style KV store. The simulation is a
+// plain byte region plus a latency model that injects extra per-access
+// delay on the exact code paths that would touch the NVM device — the
+// property the paper's end-to-end question depends on ("is the
+// bottleneck the NVM or the index?"). Latency can be disabled for
+// functional tests.
+//
+// Persistence semantics: everything written is durable (CPU-cache
+// volatility is not modelled); Flush is an accounted no-op so stores can
+// report flush counts, and Snapshot/Restore simulate crash-recovery.
+package pmem
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyModel is the extra delay injected per access, roughly one cache
+// line granular. Zero values disable injection on that path.
+type LatencyModel struct {
+	// ReadNs is added per started 256-byte block read.
+	ReadNs int64
+	// WriteNs is added per started 256-byte block written.
+	WriteNs int64
+}
+
+// Optane approximates the paper's device relative to DRAM: ~3-4x slower
+// reads, write path buffered but bandwidth-limited.
+func Optane() LatencyModel { return LatencyModel{ReadNs: 170, WriteNs: 90} }
+
+// None disables latency injection (pure-DRAM baseline / unit tests).
+func None() LatencyModel { return LatencyModel{} }
+
+const blockSize = 256
+
+// Region is a simulated PMem device. Latency is charged per 256-byte
+// block touched, with a one-block read buffer per region approximating
+// the device's internal block buffer (consecutive accesses to the same
+// block are free, as on real Optane).
+type Region struct {
+	mu   sync.Mutex
+	data []byte
+	lat  LatencyModel
+	head int64           // bump allocator
+	free map[int][]int64 // freed chunks by exact size
+
+	lastBlock atomic.Int64 // most recently touched block + 1 (0 = none)
+
+	reads   atomic.Int64
+	writes  atomic.Int64
+	flushes atomic.Int64
+}
+
+// ErrOutOfSpace is returned when an allocation exceeds the region size.
+var ErrOutOfSpace = errors.New("pmem: out of space")
+
+// NewRegion creates a zeroed region of the given size.
+func NewRegion(size int, lat LatencyModel) *Region {
+	return &Region{data: make([]byte, size), lat: lat}
+}
+
+// Size returns the region capacity in bytes.
+func (r *Region) Size() int { return len(r.data) }
+
+// Allocated returns the bytes handed out by Alloc.
+func (r *Region) Allocated() int64 { return atomic.LoadInt64(&r.head) }
+
+// SetLatency swaps the latency model (used by the ablation bench).
+func (r *Region) SetLatency(lat LatencyModel) { r.lat = lat }
+
+// Alloc reserves size bytes and returns their offset, reusing a freed
+// chunk of the same size when one exists.
+func (r *Region) Alloc(size int) (int64, error) {
+	r.mu.Lock()
+	if list := r.free[size]; len(list) > 0 {
+		off := list[len(list)-1]
+		r.free[size] = list[:len(list)-1]
+		r.mu.Unlock()
+		// Zero the chunk so page scans see a clean terminator.
+		for i := off; i < off+int64(size); i++ {
+			r.data[i] = 0
+		}
+		return off, nil
+	}
+	r.mu.Unlock()
+	for {
+		cur := atomic.LoadInt64(&r.head)
+		if cur+int64(size) > int64(len(r.data)) {
+			return 0, ErrOutOfSpace
+		}
+		if atomic.CompareAndSwapInt64(&r.head, cur, cur+int64(size)) {
+			return cur, nil
+		}
+	}
+}
+
+// Free returns a chunk previously handed out by Alloc(size) to the
+// allocator for reuse (used by store compaction to reclaim pages).
+func (r *Region) Free(off int64, size int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.free == nil {
+		r.free = make(map[int][]int64)
+	}
+	r.free[size] = append(r.free[size], off)
+}
+
+// FreeChunks reports how many freed chunks of the given size await reuse.
+func (r *Region) FreeChunks(size int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.free[size])
+}
+
+func spin(d int64) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start).Nanoseconds() < d {
+	}
+}
+
+func blocks(n int) int64 {
+	return int64((n + blockSize - 1) / blockSize)
+}
+
+// charge pays latency for the blocks [off, off+n) touches, skipping the
+// charge when the access stays inside the most recently touched block.
+func (r *Region) charge(off int64, n int, perBlock int64) {
+	if perBlock <= 0 {
+		return
+	}
+	first := off / blockSize
+	last := (off + int64(n) - 1) / blockSize
+	if first == last && r.lastBlock.Load() == first+1 {
+		return // block-buffer hit
+	}
+	spin((last - first + 1) * perBlock)
+	r.lastBlock.Store(last + 1)
+}
+
+// Read copies len(buf) bytes at off into buf, paying read latency.
+func (r *Region) Read(off int64, buf []byte) {
+	r.reads.Add(1)
+	r.charge(off, len(buf), r.lat.ReadNs)
+	copy(buf, r.data[off:off+int64(len(buf))])
+}
+
+// ReadNoCopy returns a view of the stored bytes, paying read latency.
+// The view must not be modified.
+func (r *Region) ReadNoCopy(off int64, n int) []byte {
+	r.reads.Add(1)
+	r.charge(off, n, r.lat.ReadNs)
+	return r.data[off : off+int64(n)]
+}
+
+// Write stores data at off, paying write latency.
+func (r *Region) Write(off int64, data []byte) {
+	r.writes.Add(1)
+	r.charge(off, len(data), r.lat.WriteNs)
+	copy(r.data[off:], data)
+}
+
+// Flush records a persistence barrier (clwb/sfence equivalent).
+func (r *Region) Flush(off int64, n int) {
+	r.flushes.Add(1)
+}
+
+// Stats returns access counters: reads, writes, flushes.
+func (r *Region) Stats() (reads, writes, flushes int64) {
+	return r.reads.Load(), r.writes.Load(), r.flushes.Load()
+}
+
+// Snapshot captures the persisted state for crash simulation.
+func (r *Region) Snapshot() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]byte, len(r.data))
+	copy(out, r.data)
+	return out
+}
+
+// Restore replaces the region contents with a snapshot (simulated
+// restart: the DRAM index is gone, the PMem bytes survive).
+func (r *Region) Restore(snap []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.data, snap)
+	if len(snap) < len(r.data) {
+		for i := len(snap); i < len(r.data); i++ {
+			r.data[i] = 0
+		}
+	}
+}

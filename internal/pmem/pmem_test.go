@@ -1,0 +1,105 @@
+package pmem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllocAndRW(t *testing.T) {
+	r := NewRegion(4096, None())
+	off1, err := r.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := r.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 < off1+100 {
+		t.Fatalf("overlapping allocations: %d, %d", off1, off2)
+	}
+	payload := []byte("hello pmem")
+	r.Write(off1, payload)
+	buf := make([]byte, len(payload))
+	r.Read(off1, buf)
+	if string(buf) != string(payload) {
+		t.Fatalf("read back %q", buf)
+	}
+	if string(r.ReadNoCopy(off1, len(payload))) != string(payload) {
+		t.Fatal("ReadNoCopy mismatch")
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	r := NewRegion(128, None())
+	if _, err := r.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Alloc(100); err != ErrOutOfSpace {
+		t.Fatalf("got %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	r := NewRegion(1024, None())
+	r.Write(0, []byte{1})
+	r.Read(0, make([]byte, 1))
+	r.Flush(0, 1)
+	reads, writes, flushes := r.Stats()
+	if reads != 1 || writes != 1 || flushes != 1 {
+		t.Fatalf("stats %d/%d/%d", reads, writes, flushes)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	r := NewRegion(1<<16, LatencyModel{ReadNs: 2000, WriteNs: 0})
+	buf := make([]byte, 64)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		// Alternate blocks so the block buffer never hits.
+		r.Read(int64(i%2)*4096, buf)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Microsecond {
+		t.Fatalf("latency not injected: 100 reads took %v, want >= 200us nominal", elapsed)
+	}
+}
+
+func TestBlockBufferHitIsFree(t *testing.T) {
+	r := NewRegion(1<<16, LatencyModel{ReadNs: 50_000, WriteNs: 0})
+	buf := make([]byte, 8)
+	r.Read(0, buf) // charge once
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		r.Read(int64(i*8%blockSize), buf) // same block every time
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Millisecond {
+		t.Fatalf("block-buffer hits were charged: 100 same-block reads took %v", elapsed)
+	}
+	// Crossing to another block charges again.
+	start = time.Now()
+	r.Read(blockSize*8, buf)
+	if elapsed := time.Since(start); elapsed < 40*time.Microsecond {
+		t.Fatalf("block miss not charged: took %v", elapsed)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	r := NewRegion(1024, None())
+	r.Write(10, []byte("persisted"))
+	snap := r.Snapshot()
+	r.Write(10, []byte("scribbled"))
+	r.Restore(snap)
+	if got := string(r.ReadNoCopy(10, 9)); got != "persisted" {
+		t.Fatalf("after restore: %q", got)
+	}
+}
+
+func TestBlocksRounding(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 1, 256: 1, 257: 2, 512: 2, 513: 3}
+	for n, want := range cases {
+		if got := blocks(n); got != want {
+			t.Errorf("blocks(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

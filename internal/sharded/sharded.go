@@ -1,0 +1,185 @@
+// Package sharded turns a single-writer ordered index into a
+// concurrently writable one by range-partitioning the key space into
+// shards, each backed by its own inner index under a RWMutex. This is
+// the honest Go stand-in for the paper's natively concurrent traditional
+// baselines (Masstree-class) in the Fig 14 multi-threaded write
+// experiment: writers to different key ranges proceed in parallel, scans
+// remain globally ordered.
+package sharded
+
+import (
+	"sort"
+	"sync"
+
+	"learnedpieces/internal/index"
+)
+
+// Index is the range-partitioned wrapper.
+type Index struct {
+	boundaries []uint64 // shard i covers [boundaries[i-1], boundaries[i])
+	shards     []*shard
+	name       string
+}
+
+type shard struct {
+	mu  sync.RWMutex
+	idx index.Index
+}
+
+// BoundariesFromSample picks shard boundaries from a sorted key sample so
+// shards receive balanced load.
+func BoundariesFromSample(sorted []uint64, shards int) []uint64 {
+	if shards < 2 || len(sorted) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		out = append(out, sorted[i*len(sorted)/shards])
+	}
+	return out
+}
+
+// New builds a sharded index with len(boundaries)+1 shards, each created
+// by factory. Boundaries must be sorted ascending.
+func New(factory func() index.Index, boundaries []uint64) *Index {
+	s := &Index{boundaries: boundaries}
+	for i := 0; i <= len(boundaries); i++ {
+		s.shards = append(s.shards, &shard{idx: factory()})
+	}
+	s.name = s.shards[0].idx.Name() + "+sharded"
+	return s
+}
+
+// Name implements index.Index.
+func (s *Index) Name() string { return s.name }
+
+func (s *Index) shardFor(key uint64) *shard {
+	i := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > key })
+	return s.shards[i]
+}
+
+// Len returns the number of stored entries across shards.
+func (s *Index) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.idx.Len()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Get returns the value stored under key.
+func (s *Index) Get(key uint64) (uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.idx.Get(key)
+}
+
+// Insert stores value under key; writers to different shards run in
+// parallel.
+func (s *Index) Insert(key, value uint64) error {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.idx.Insert(key, value)
+}
+
+// Delete removes key if the inner index supports deletion.
+func (s *Index) Delete(key uint64) bool {
+	sh := s.shardFor(key)
+	d, ok := sh.idx.(index.Deleter)
+	if !ok {
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return d.Delete(key)
+}
+
+// BulkLoad splits the sorted keys at the shard boundaries and bulk-loads
+// each shard.
+func (s *Index) BulkLoad(keys, values []uint64) error {
+	start := 0
+	for i, sh := range s.shards {
+		end := len(keys)
+		if i < len(s.boundaries) {
+			end = start + sort.Search(len(keys)-start, func(j int) bool {
+				return keys[start+j] >= s.boundaries[i]
+			})
+		}
+		var vals []uint64
+		if values != nil {
+			vals = values[start:end]
+		}
+		if b, ok := sh.idx.(index.Bulk); ok {
+			if err := b.BulkLoad(keys[start:end], vals); err != nil {
+				return err
+			}
+		} else {
+			for j := start; j < end; j++ {
+				var v uint64
+				if values != nil {
+					v = values[j]
+				}
+				if err := sh.idx.Insert(keys[j], v); err != nil {
+					return err
+				}
+			}
+		}
+		start = end
+	}
+	return nil
+}
+
+// Scan visits entries with key >= start in ascending order across
+// shards. Each shard is read-locked in turn; the scan is not atomic with
+// respect to concurrent writers.
+func (s *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	count := 0
+	stopped := false
+	from := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > start })
+	for i := from; i < len(s.shards) && !stopped; i++ {
+		sh := s.shards[i]
+		sc, ok := sh.idx.(index.Scanner)
+		if !ok {
+			return
+		}
+		sh.mu.RLock()
+		sc.Scan(start, 0, func(k, v uint64) bool {
+			if n > 0 && count >= n {
+				stopped = true
+				return false
+			}
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			count++
+			return true
+		})
+		sh.mu.RUnlock()
+	}
+}
+
+// Sizes sums the shard footprints.
+func (s *Index) Sizes() index.Sizes {
+	var total index.Sizes
+	for _, sh := range s.shards {
+		if sized, ok := sh.idx.(index.Sized); ok {
+			sz := sized.Sizes()
+			total.Structure += sz.Structure
+			total.Keys += sz.Keys
+			total.Values += sz.Values
+		}
+	}
+	total.Structure += int64(len(s.boundaries)) * 8
+	return total
+}
+
+// ConcurrentReads reports that concurrent Gets are safe.
+func (s *Index) ConcurrentReads() bool { return true }
+
+// ConcurrentWrites reports that concurrent Inserts are safe.
+func (s *Index) ConcurrentWrites() bool { return true }

@@ -1,0 +1,105 @@
+package sharded
+
+import (
+	"sync"
+	"testing"
+
+	"learnedpieces/internal/btree"
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/indextest"
+	"learnedpieces/internal/skiplist"
+)
+
+func newSharded() index.Index {
+	sample := dataset.Generate(dataset.YCSBUniform, 1024, 1)
+	return New(func() index.Index { return btree.New() }, BoundariesFromSample(sample, 8))
+}
+
+func TestConformance(t *testing.T) {
+	indextest.RunAll(t, "btree+sharded", newSharded)
+}
+
+func TestBoundariesFromSample(t *testing.T) {
+	sorted := dataset.Generate(dataset.Sequential, 1000, 0)
+	b := BoundariesFromSample(sorted, 4)
+	if len(b) != 3 {
+		t.Fatalf("got %d boundaries", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatal("boundaries not increasing")
+		}
+	}
+	if BoundariesFromSample(sorted, 1) != nil {
+		t.Fatal("single shard should need no boundaries")
+	}
+	if BoundariesFromSample(nil, 4) != nil {
+		t.Fatal("empty sample should yield nil")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBUniform, 40000, 2)
+	s := New(func() index.Index { return skiplist.New() },
+		BoundariesFromSample(keys, 16))
+	order := dataset.Shuffled(keys, 3)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(order); i += workers {
+				if err := s.Insert(order[i], order[i]); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if v, ok := s.Get(k); !ok || v != k {
+			t.Fatalf("get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	// Global scan order across shards.
+	prev := uint64(0)
+	n := 0
+	s.Scan(0, 0, func(k, v uint64) bool {
+		if n > 0 && k <= prev {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != len(keys) {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestBulkLoadSplitsAtBoundaries(t *testing.T) {
+	keys := dataset.Generate(dataset.Sequential, 1000, 0)
+	s := New(func() index.Index { return btree.New() }, []uint64{250, 500, 750})
+	if err := s.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Shard populations reflect the boundaries.
+	want := []int{249, 250, 250, 251}
+	for i, sh := range s.shards {
+		if sh.idx.Len() != want[i] {
+			t.Fatalf("shard %d has %d keys, want %d", i, sh.idx.Len(), want[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package viper
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"learnedpieces/internal/btree"
+	"learnedpieces/internal/pmem"
+)
+
+// TestCrashRecoveryAtRandomPoints is a crash-consistency property test:
+// apply a random op stream, snapshot the PMem at arbitrary points
+// ("crash"), restore the snapshot into a fresh store, recover, and check
+// the recovered state equals the reference state at the snapshot moment.
+func TestCrashRecoveryAtRandomPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	region := pmem.NewRegion(64<<20, pmem.None())
+	store := Open(region, btree.New())
+	ref := make(map[uint64]string)
+
+	type snap struct {
+		mem []byte
+		ref map[uint64]string
+		// page layout must be restored as well; capture the page offsets.
+		pages []int64
+	}
+	var snaps []snap
+
+	keyspace := func() uint64 { return uint64(rng.Intn(500) + 1) }
+	for op := 0; op < 4000; op++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // put
+			k := keyspace()
+			v := fmt.Sprintf("v%d-%d", k, op)
+			if err := store.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 3: // delete
+			k := keyspace()
+			_, want := ref[k]
+			got, err := store.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("op %d: delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 4:
+			if rng.Intn(10) == 0 && len(snaps) < 8 {
+				refCopy := make(map[uint64]string, len(ref))
+				for k, v := range ref {
+					refCopy[k] = v
+				}
+				snaps = append(snaps, snap{
+					mem:   region.Snapshot(),
+					ref:   refCopy,
+					pages: append([]int64(nil), store.pages...),
+				})
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots taken; adjust probabilities")
+	}
+
+	for i, s := range snaps {
+		crashRegion := pmem.NewRegion(64<<20, pmem.None())
+		crashRegion.Restore(s.mem)
+		crashed := Open(crashRegion, btree.New())
+		crashed.pages = append([]int64(nil), s.pages...)
+		if err := crashed.Recover(btree.New()); err != nil {
+			t.Fatalf("snapshot %d: recover: %v", i, err)
+		}
+		if crashed.Len() != len(s.ref) {
+			t.Fatalf("snapshot %d: recovered %d keys, want %d", i, crashed.Len(), len(s.ref))
+		}
+		for k, v := range s.ref {
+			got, ok := crashed.Get(k)
+			if !ok || !bytes.Equal(got, []byte(v)) {
+				t.Fatalf("snapshot %d: get(%d) = %q,%v want %q", i, k, got, ok, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package viper implements a Viper-style NVM-oriented persistent
+// key-value store (Benson et al., VLDB'21), the paper's fair end-to-end
+// comparison environment: a volatile index kept entirely in DRAM maps
+// keys to record offsets, while full records (8-byte key, ~200-byte
+// value) live in fixed-size pages on (simulated) persistent memory.
+//
+// The index is pluggable through the index.Index interface — exactly the
+// seam the paper added to Viper to host its six learned and six
+// traditional indexes. Recovery rebuilds the DRAM index by scanning the
+// PMem pages, using the index's bulk-load path when available (Fig 16).
+package viper
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/pmem"
+)
+
+const (
+	// PageSize is the unit of PMem allocation.
+	PageSize = 1 << 20
+	// recordHeader is key(8) + valueLen(4) + flags(1).
+	recordHeader = 13
+	// flagDeleted marks a tombstone record.
+	flagDeleted = 1
+)
+
+// DefaultValueSize matches the paper's 200-byte values.
+const DefaultValueSize = 200
+
+// page is one PMem page with an atomically bumped write position, so
+// concurrent writers claim disjoint record slots without a lock (as
+// Viper's per-client VPage buffers do).
+type page struct {
+	off int64
+	pos atomic.Int64
+}
+
+// Store is the KV store. Get is lock-free; Put appends without a lock
+// except at page rollover. Put is safe for concurrent use exactly when
+// the volatile index supports concurrent writes (XIndex, CCEH, or a
+// sharded wrapper) — the store adds no serialisation of its own.
+type Store struct {
+	region *pmem.Region
+	idx    index.Index
+
+	cur     atomic.Pointer[page]
+	mu      sync.Mutex // page rollover, deletes, recovery
+	pages   []int64    // all page offsets, in allocation order
+	liveLen atomic.Int64
+}
+
+// Errors returned by Store operations.
+var (
+	ErrEmptyValue  = errors.New("viper: empty values are not supported")
+	ErrValueTooBig = errors.New("viper: value exceeds page size")
+)
+
+// Open creates a store over the region using idx as the volatile index.
+func Open(region *pmem.Region, idx index.Index) *Store {
+	return &Store{region: region, idx: idx}
+}
+
+// Index exposes the volatile index (for stats such as Sizes).
+func (s *Store) Index() index.Index { return s.idx }
+
+// Region exposes the PMem region (for stats).
+func (s *Store) Region() *pmem.Region { return s.region }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return int(s.liveLen.Load()) }
+
+// claim reserves n bytes in the current page, rolling over to a fresh
+// page when full (the claimed tail of a full page is abandoned; its
+// zeroed header terminates the recovery scan of that page).
+func (s *Store) claim(n int) (int64, error) {
+	if n > PageSize {
+		return 0, ErrValueTooBig
+	}
+	for {
+		p := s.cur.Load()
+		if p != nil {
+			pos := p.pos.Add(int64(n)) - int64(n)
+			if pos+int64(n) <= PageSize {
+				return p.off + pos, nil
+			}
+		}
+		// Roll over under the lock; only one writer allocates.
+		s.mu.Lock()
+		if s.cur.Load() == p {
+			off, err := s.region.Alloc(PageSize)
+			if err != nil {
+				s.mu.Unlock()
+				return 0, err
+			}
+			np := &page{off: off}
+			s.pages = append(s.pages, off)
+			s.cur.Store(np)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// appendRecord writes one record and returns its offset.
+func (s *Store) appendRecord(key uint64, value []byte, flags byte) (int64, error) {
+	n := recordHeader + len(value)
+	off, err := s.claim(n)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], key)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(value)))
+	hdr[12] = flags
+	s.region.Write(off, hdr[:])
+	if len(value) > 0 {
+		s.region.Write(off+recordHeader, value)
+	}
+	s.region.Flush(off, n)
+	return off, nil
+}
+
+// Put stores value under key (insert or update). Concurrent Puts are
+// safe iff the index supports concurrent writes.
+func (s *Store) Put(key uint64, value []byte) error {
+	if len(value) == 0 {
+		return ErrEmptyValue
+	}
+	off, err := s.appendRecord(key, value, 0)
+	if err != nil {
+		return err
+	}
+	_, existed := s.idx.Get(key)
+	if err := s.idx.Insert(key, uint64(off)); err != nil {
+		return fmt.Errorf("viper: index insert: %w", err)
+	}
+	if !existed {
+		s.liveLen.Add(1)
+	}
+	return nil
+}
+
+// Get reads the value stored under key. The returned slice aliases the
+// region and must not be modified.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	off, ok := s.idx.Get(key)
+	if !ok {
+		return nil, false
+	}
+	hdr := s.region.ReadNoCopy(int64(off), recordHeader)
+	vlen := binary.LittleEndian.Uint32(hdr[8:12])
+	if hdr[12]&flagDeleted != 0 {
+		return nil, false
+	}
+	return s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen)), true
+}
+
+// Delete removes key: a tombstone record is appended for recovery and
+// the key is dropped from the volatile index. Like Put, concurrent use
+// requires an index with concurrent write support.
+func (s *Store) Delete(key uint64) (bool, error) {
+	if _, ok := s.idx.Get(key); !ok {
+		return false, nil
+	}
+	if _, err := s.appendRecord(key, nil, flagDeleted); err != nil {
+		return false, err
+	}
+	d, ok := s.idx.(index.Deleter)
+	if !ok {
+		return false, fmt.Errorf("viper: index %s cannot delete", s.idx.Name())
+	}
+	d.Delete(key)
+	s.liveLen.Add(-1)
+	return true, nil
+}
+
+// Scan visits live entries with key >= start in ascending key order,
+// reading each value from PMem. The index must support ordered scans.
+func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
+	sc, ok := s.idx.(index.Scanner)
+	if !ok {
+		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
+	}
+	sc.Scan(start, n, func(k, off uint64) bool {
+		hdr := s.region.ReadNoCopy(int64(off), recordHeader)
+		vlen := binary.LittleEndian.Uint32(hdr[8:12])
+		if hdr[12]&flagDeleted != 0 {
+			return true
+		}
+		return fn(k, s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen)))
+	})
+	return nil
+}
+
+// BulkPut loads sorted distinct keys with a shared value payload through
+// the index's bulk path — the store initialisation the paper uses before
+// its read-only experiments.
+func (s *Store) BulkPut(keys []uint64, value []byte) error {
+	if len(value) == 0 {
+		return ErrEmptyValue
+	}
+	offs := make([]uint64, len(keys))
+	for i, k := range keys {
+		off, err := s.appendRecord(k, value, 0)
+		if err != nil {
+			return err
+		}
+		offs[i] = uint64(off)
+	}
+	b, ok := s.idx.(index.Bulk)
+	if !ok {
+		return fmt.Errorf("viper: index %s cannot bulk load", s.idx.Name())
+	}
+	if err := b.BulkLoad(keys, offs); err != nil {
+		return err
+	}
+	s.liveLen.Store(int64(len(keys)))
+	return nil
+}
+
+// Recover rebuilds the volatile index from the PMem pages after a
+// (simulated) crash: it scans every record in append order, keeps the
+// newest version per key, drops tombstones, and bulk-loads the index.
+// The caller provides a fresh index instance.
+func (s *Store) Recover(fresh index.Index) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type entry struct {
+		off  uint64
+		dead bool
+	}
+	live := make(map[uint64]entry)
+	for _, page := range s.pages {
+		pos := 0
+		for pos+recordHeader <= PageSize {
+			off := page + int64(pos)
+			hdr := s.region.ReadNoCopy(off, recordHeader)
+			key := binary.LittleEndian.Uint64(hdr[0:8])
+			vlen := binary.LittleEndian.Uint32(hdr[8:12])
+			flags := hdr[12]
+			if key == 0 && vlen == 0 && flags == 0 {
+				break // end of page
+			}
+			live[key] = entry{uint64(off), flags&flagDeleted != 0}
+			pos += recordHeader + int(vlen)
+		}
+	}
+	keys := make([]uint64, 0, len(live))
+	for k, e := range live {
+		if !e.dead {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	offs := make([]uint64, len(keys))
+	for i, k := range keys {
+		offs[i] = live[k].off
+	}
+	if b, ok := fresh.(index.Bulk); ok {
+		if err := b.BulkLoad(keys, offs); err != nil {
+			return err
+		}
+	} else {
+		for i, k := range keys {
+			if err := fresh.Insert(k, offs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	s.idx = fresh
+	s.liveLen.Store(int64(len(keys)))
+	return nil
+}
+
+// Compact rewrites every live record into fresh pages and frees the old
+// ones, reclaiming the space of overwritten and deleted records (Viper's
+// space reclamation, as a stop-the-world pass: the caller must quiesce
+// readers and writers). The volatile index is rebuilt with the new
+// offsets. It returns the number of bytes reclaimed.
+func (s *Store) Compact(fresh index.Index) (int64, error) {
+	s.mu.Lock()
+	oldPages := s.pages
+	s.pages = nil
+	s.cur.Store(nil)
+	s.mu.Unlock()
+
+	// Newest version per key, exactly like recovery.
+	type entry struct {
+		off  int64
+		dead bool
+	}
+	live := make(map[uint64]entry)
+	for _, page := range oldPages {
+		pos := 0
+		for pos+recordHeader <= PageSize {
+			off := page + int64(pos)
+			hdr := s.region.ReadNoCopy(off, recordHeader)
+			key := binary.LittleEndian.Uint64(hdr[0:8])
+			vlen := binary.LittleEndian.Uint32(hdr[8:12])
+			flags := hdr[12]
+			if key == 0 && vlen == 0 && flags == 0 {
+				break
+			}
+			live[key] = entry{off, flags&flagDeleted != 0}
+			pos += recordHeader + int(vlen)
+		}
+	}
+	keys := make([]uint64, 0, len(live))
+	for k, e := range live {
+		if !e.dead {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Copy live records into fresh pages.
+	offs := make([]uint64, len(keys))
+	for i, k := range keys {
+		src := live[k].off
+		hdr := s.region.ReadNoCopy(src, recordHeader)
+		vlen := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		val := s.region.ReadNoCopy(src+recordHeader, vlen)
+		off, err := s.appendRecord(k, val, 0)
+		if err != nil {
+			return 0, err
+		}
+		offs[i] = uint64(off)
+	}
+
+	// Install the rebuilt index.
+	if b, ok := fresh.(index.Bulk); ok {
+		if err := b.BulkLoad(keys, offs); err != nil {
+			return 0, err
+		}
+	} else {
+		for i, k := range keys {
+			if err := fresh.Insert(k, offs[i]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	s.mu.Lock()
+	s.idx = fresh
+	s.liveLen.Store(int64(len(keys)))
+	newPages := int64(len(s.pages))
+	s.mu.Unlock()
+
+	for _, p := range oldPages {
+		s.region.Free(p, PageSize)
+	}
+	return int64(len(oldPages))*PageSize - newPages*PageSize, nil
+}
+
+// DropIndex simulates the crash: the DRAM index is discarded while the
+// PMem pages survive. Get fails until Recover installs a new index.
+func (s *Store) DropIndex(empty index.Index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx = empty
+}
+
+// Sizes reports Table III's three footprints for the current state:
+// index structure only, index+keys, and index+keys+values.
+func (s *Store) Sizes() (structure, withKeys, withKV int64) {
+	var sz index.Sizes
+	if sized, ok := s.idx.(index.Sized); ok {
+		sz = sized.Sizes()
+	}
+	structure = sz.Structure
+	withKeys = sz.Structure + sz.Keys
+	withKV = withKeys + s.region.Allocated()
+	return structure, withKeys, withKV
+}
