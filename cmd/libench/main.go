@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"learnedpieces/internal/bench"
+	"learnedpieces/internal/parallel"
 )
 
 func main() {
@@ -33,9 +34,13 @@ func main() {
 		pm      = flag.Bool("pmem", true, "simulate NVM latency in the KV store")
 		vs      = flag.Int("valuesize", 200, "record value size in bytes")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		batch   = flag.Int("batch", 0, "batched reads: MultiGet batch size for the read-only experiments (0/1 = per-key Get)")
+		workers = flag.Int("workers", 0, "worker count for parallel bulk paths (recovery/compaction/bulk-load/training); 0 = all cores")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		for _, e := range bench.All() {
@@ -50,6 +55,7 @@ func main() {
 	cfg.PMemLatency = *pm
 	cfg.ValueSize = *vs
 	cfg.CSV = *csv
+	cfg.Batch = *batch
 	cfg.Ops = *ops
 	if cfg.Ops <= 0 {
 		cfg.Ops = *n

@@ -93,7 +93,7 @@ func RunFig10(cfg Config) error {
 				if err != nil {
 					return fmt.Errorf("%s: %w", name, err)
 				}
-				sum := runReads(s, ops)
+				sum := cfg.runReads(s, ops)
 				t.AddRow(name, size, mops(sum), usec(sum.P999Ns), sum.MeanNs)
 			}
 		}
@@ -114,7 +114,7 @@ func RunFig11(cfg Config) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		sum := runReads(s, ops)
+		sum := cfg.runReads(s, ops)
 		t.AddRow(name, mops(sum), usec(sum.P999Ns))
 	}
 	cfg.render(t)
@@ -205,6 +205,16 @@ func (l *lockedIndex) Insert(key, value uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.Index.Insert(key, value)
+}
+
+// InsertReplace keeps the store's live count exact under concurrent
+// writers: existence is derived under the same critical section as the
+// insert (satisfying index.Upserter).
+func (l *lockedIndex) InsertReplace(key, value uint64) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, existed := l.Index.Get(key)
+	return existed, l.Index.Insert(key, value)
 }
 
 func (l *lockedIndex) Name() string { return l.Index.Name() + "+lock" }

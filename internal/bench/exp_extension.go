@@ -73,7 +73,7 @@ func RunExtLIPP(cfg Config) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		readSum := runReads(s, workload.ReadStream(keys, cfg.Ops, cfg.Seed+1))
+		readSum := cfg.runReads(s, workload.ReadStream(keys, cfg.Ops, cfg.Seed+1))
 		// Write phase into a store loaded with the prefix.
 		s2, err := cfg.buildStore(mustEntry(name).New(), load)
 		if err != nil {
@@ -122,7 +122,7 @@ func RunExtAPEX(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		getSum := runReads(s, probes)
+		getSum := cfg.runReads(s, probes)
 		v := cfg.value()
 		runtime.GC()
 		start := time.Now()

@@ -92,6 +92,11 @@ func homeSlot(h uint64) int {
 func (m *Map) Get(key uint64) (uint64, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.getLocked(key)
+}
+
+// getLocked probes for key; the caller holds m.mu (read or write).
+func (m *Map) getLocked(key uint64) (uint64, bool) {
 	h := hash(key)
 	s := m.segmentFor(h)
 	start := homeSlot(h)
@@ -120,6 +125,22 @@ func (m *Map) Insert(key, value uint64) error {
 		s := m.segmentFor(h)
 		if insertInto(s, h, key, value, insertProbe, &m.length) {
 			return nil
+		}
+		m.split(h)
+	}
+}
+
+// InsertReplace implements index.Upserter: the existence probe and the
+// insert run under the same map lock.
+func (m *Map) InsertReplace(key, value uint64) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, existed := m.getLocked(key)
+	for {
+		h := hash(key)
+		s := m.segmentFor(h)
+		if insertInto(s, h, key, value, insertProbe, &m.length) {
+			return existed, nil
 		}
 		m.split(h)
 	}

@@ -39,6 +39,23 @@ type Deleter interface {
 	Delete(key uint64) bool
 }
 
+// Upserter is implemented by indexes that can report, atomically with
+// the insert itself, whether the key already existed. Concurrent-write
+// stores need this to keep derived counters (such as the KV store's live
+// length) exact: a separate Get-then-Insert pair races when two writers
+// insert the same new key simultaneously.
+type Upserter interface {
+	InsertReplace(key, value uint64) (existed bool, err error)
+}
+
+// ScanChecker is implemented by wrapper indexes whose scan support
+// depends on their inner index (the sharded wrapper always has a Scan
+// method, but can only honour it when its shards do). Callers that
+// gate on Scanner should also consult CanScan when present.
+type ScanChecker interface {
+	CanScan() bool
+}
+
 // Sizes is the memory footprint breakdown of Table III.
 type Sizes struct {
 	Structure int64 // models, inner nodes, directories — excluding key/value storage

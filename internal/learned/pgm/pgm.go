@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pla"
 )
 
@@ -67,7 +68,9 @@ func (s *Static) build() {
 	if len(s.keys) == 0 {
 		return
 	}
-	segs := pla.BuildOptPLA(s.keys, s.eps)
+	// Level 0 dominates build time; disjoint key chunks train in parallel
+	// (upper levels approximate the segment firsts and are tiny — serial).
+	segs := pla.BuildOptPLAChunked(s.keys, s.eps, parallel.Workers(len(s.keys)))
 	for {
 		s.levels = append(s.levels, segs)
 		firsts := make([]uint64, len(segs))

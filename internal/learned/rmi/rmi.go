@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/parallel"
 )
 
 // Config controls the RMI shape.
@@ -72,16 +73,33 @@ func (ix *Index) BulkLoad(keys, values []uint64) error {
 		numLeaves = 1
 	}
 
-	// Stage one: least squares of leafID = (i/n)*L over key.
+	// Stage one: least squares of leafID = (i/n)*L over key. The sums
+	// reduce over disjoint key chunks in parallel; per-chunk partials are
+	// combined in chunk order so the result is deterministic for a given
+	// worker count.
 	ix.rootFirst = keys[0]
+	const minPerWorker = 16 << 10
+	workers := parallel.Workers(len(keys) / minPerWorker)
+	type sums struct{ sx, sy, sxx, sxy float64 }
+	partial := make([]sums, workers)
+	parallel.For(workers, len(keys), func(w, lo, hi int) {
+		var p sums
+		for i := lo; i < hi; i++ {
+			x := float64(keys[i] - ix.rootFirst)
+			y := float64(i) * float64(numLeaves) / float64(len(keys))
+			p.sx += x
+			p.sy += y
+			p.sxx += x * x
+			p.sxy += x * y
+		}
+		partial[w] = p
+	})
 	var sx, sy, sxx, sxy float64
-	for i, k := range keys {
-		x := float64(k - ix.rootFirst)
-		y := float64(i) * float64(numLeaves) / float64(len(keys))
-		sx += x
-		sy += y
-		sxx += x * x
-		sxy += x * y
+	for _, p := range partial {
+		sx += p.sx
+		sy += p.sy
+		sxx += p.sxx
+		sxy += p.sxy
 	}
 	fn := float64(len(keys))
 	denom := fn*sxx - sx*sx
@@ -91,18 +109,29 @@ func (ix *Index) BulkLoad(keys, values []uint64) error {
 	ix.rootIntercept = (sy - ix.rootSlope*sx) / fn
 
 	// Assign keys to leaves by the root model, then train each leaf on its
-	// assigned range. Root predictions are monotone in the key, so each
-	// leaf owns a contiguous run.
+	// assigned range. Root predictions are monotone in the key (the least
+	// squares slope over co-sorted x and y is never negative), so each
+	// leaf owns a contiguous run and a worker can locate the start of its
+	// leaf range by binary search instead of replaying the whole scan —
+	// which is what lets disjoint leaf ranges train in parallel.
 	ix.leaves = make([]leafModel, numLeaves)
-	start := 0
-	for leafID := 0; leafID < numLeaves; leafID++ {
-		end := start
-		for end < len(keys) && ix.predictLeaf(keys[end], numLeaves) == leafID {
-			end++
-		}
-		ix.leaves[leafID] = trainLeaf(keys, start, end)
-		start = end
+	leafWorkers := len(keys) / minPerWorker
+	if leafWorkers > numLeaves {
+		leafWorkers = numLeaves
 	}
+	parallel.For(parallel.Workers(leafWorkers), numLeaves, func(_, leafLo, leafHi int) {
+		start := sort.Search(len(keys), func(i int) bool {
+			return ix.predictLeaf(keys[i], numLeaves) >= leafLo
+		})
+		for leafID := leafLo; leafID < leafHi; leafID++ {
+			end := start
+			for end < len(keys) && ix.predictLeaf(keys[end], numLeaves) == leafID {
+				end++
+			}
+			ix.leaves[leafID] = trainLeaf(keys, start, end)
+			start = end
+		}
+	})
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pla"
 )
 
@@ -78,16 +79,24 @@ func (ix *Index) BulkLoad(keys, values []uint64) error {
 	ix.spline = pla.BuildGreedySpline(keys, eps)
 
 	// table[p] = index of the first spline point whose prefix >= p, so
-	// the knots bracketing a key lie in [table[p], table[p+1]].
+	// the knots bracketing a key lie in [table[p], table[p+1]]. Prefix
+	// ranges are independent once a worker seeds its cursor with a binary
+	// search, so the fill fans out over contiguous table chunks and the
+	// result is identical to the serial pass.
 	size := 1<<bits + 1
 	ix.table = make([]int32, size)
-	next := 0
-	for p := 0; p < size-1; p++ {
-		for next < len(ix.spline) && int(ix.spline[next].Key>>ix.shift) < p {
-			next++
+	const minPerWorker = 64 << 10
+	parallel.For(parallel.Workers(size/minPerWorker), size-1, func(_, lo, hi int) {
+		next := sort.Search(len(ix.spline), func(i int) bool {
+			return int(ix.spline[i].Key>>ix.shift) >= lo
+		})
+		for p := lo; p < hi; p++ {
+			for next < len(ix.spline) && int(ix.spline[next].Key>>ix.shift) < p {
+				next++
+			}
+			ix.table[p] = int32(next)
 		}
-		ix.table[p] = int32(next)
-	}
+	})
 	ix.table[size-1] = int32(len(ix.spline))
 	return nil
 }

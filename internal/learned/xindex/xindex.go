@@ -274,6 +274,12 @@ func (ix *Index) Insert(key, value uint64) error {
 	return nil
 }
 
+// InsertReplace implements index.Upserter: upsert already reports, under
+// the group lock, whether the key was live before the write.
+func (ix *Index) InsertReplace(key, value uint64) (bool, error) {
+	return ix.upsert(key, value, false), nil
+}
+
 // Delete removes key (via a tombstone) and reports whether it was live.
 func (ix *Index) Delete(key uint64) bool {
 	return ix.upsert(key, 0, true)

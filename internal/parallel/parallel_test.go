@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersCaps(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+	SetWorkers(8)
+	if w := Workers(100); w != 8 {
+		t.Fatalf("Workers(100) with override 8 = %d", w)
+	}
+	if w := Workers(3); w != 3 {
+		t.Fatalf("Workers(3) with override 8 = %d", w)
+	}
+	SetWorkers(0)
+	if w := Workers(1 << 30); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers default = %d, want GOMAXPROCS", w)
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		const n = 1000
+		hits := make([]int32, n)
+		For(workers, n, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+			if lo >= hi {
+				t.Errorf("workers=%d: empty chunk [%d,%d)", workers, lo, hi)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: position %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForSmallInputRunsInline(t *testing.T) {
+	ran := 0
+	For(8, 1, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 1 {
+			t.Fatalf("got (%d,%d,%d)", w, lo, hi)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("body ran %d times", ran)
+	}
+	For(4, 0, func(w, lo, hi int) { t.Fatal("body ran for n=0") })
+}
+
+func TestForErrReturnsLowestChunkError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForErr(4, 400, func(w, lo, hi int) error {
+		switch w {
+		case 1:
+			return errB
+		case 0:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-chunk error %v", err, errA)
+	}
+	if err := ForErr(4, 400, func(w, lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

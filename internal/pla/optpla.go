@@ -1,5 +1,7 @@
 package pla
 
+import "learnedpieces/internal/parallel"
+
 // Optimal streaming piecewise-linear approximation (O'Rourke 1981), the
 // algorithm PGM-Index uses. Processing points (key, position) in key
 // order, it maintains the interval [slopeMin, slopeMax] of slopes of
@@ -145,6 +147,42 @@ func (s *optState) segmentSlope() float64 {
 		return 0
 	}
 	return (s.slopeMin + s.slopeMax) / 2
+}
+
+// BuildOptPLAChunked segments keys with the optimal streaming PLA, fanned
+// out over workers: the key array splits into contiguous chunks, each
+// chunk is segmented independently, and the per-chunk segments are
+// rebased to global positions and concatenated. Every segment still
+// satisfies MaxErr <= eps; the cost of parallelism is at most workers-1
+// extra segments (each chunk boundary may force a split the streaming
+// pass would not have taken). workers <= 1 falls back to BuildOptPLA.
+func BuildOptPLAChunked(keys []uint64, eps, workers int) []Segment {
+	const minPerChunk = 16 << 10
+	if workers > len(keys)/minPerChunk {
+		workers = len(keys) / minPerChunk
+	}
+	if workers <= 1 {
+		return BuildOptPLA(keys, eps)
+	}
+	chunks := make([][]Segment, workers)
+	parallel.For(workers, len(keys), func(w, lo, hi int) {
+		segs := BuildOptPLA(keys[lo:hi], eps)
+		for i := range segs {
+			segs[i].Start += lo
+			segs[i].End += lo
+			segs[i].Intercept += float64(lo)
+		}
+		chunks[w] = segs
+	})
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	segs := make([]Segment, 0, total)
+	for _, c := range chunks {
+		segs = append(segs, c...)
+	}
+	return segs
 }
 
 // BuildOptPLA segments keys with the optimal streaming PLA. Every returned

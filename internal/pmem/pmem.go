@@ -40,6 +40,17 @@ const blockSize = 256
 // block touched, with a one-block read buffer per region approximating
 // the device's internal block buffer (consecutive accesses to the same
 // block are free, as on real Optane).
+//
+// Concurrency: Alloc, Free, FreeChunks, Snapshot and Restore are fully
+// synchronized. Read, ReadNoCopy, Write and Flush are safe to call
+// concurrently as long as no Write overlaps a concurrent Read/ReadNoCopy
+// of the same byte range — the discipline the Viper store upholds (every
+// record slot is claimed by exactly one appender and only read after its
+// index entry is published), and what lets its recovery, compaction and
+// bulk-load paths fan out across cores without a region lock. All access
+// counters and the block buffer are atomics, so the latency model stays
+// race-free under any interleaving. SetLatency must not run concurrently
+// with accesses.
 type Region struct {
 	mu   sync.Mutex
 	data []byte
@@ -68,7 +79,8 @@ func (r *Region) Size() int { return len(r.data) }
 // Allocated returns the bytes handed out by Alloc.
 func (r *Region) Allocated() int64 { return atomic.LoadInt64(&r.head) }
 
-// SetLatency swaps the latency model (used by the ablation bench).
+// SetLatency swaps the latency model (used by the ablation bench). It
+// must not be called concurrently with accesses.
 func (r *Region) SetLatency(lat LatencyModel) { r.lat = lat }
 
 // Alloc reserves size bytes and returns their offset, reusing a freed

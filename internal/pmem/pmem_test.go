@@ -1,6 +1,7 @@
 package pmem
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -101,5 +102,45 @@ func TestBlocksRounding(t *testing.T) {
 		if got := blocks(n); got != want {
 			t.Errorf("blocks(%d) = %d, want %d", n, got, want)
 		}
+	}
+}
+
+// TestConcurrentDisjointAccess pins down the documented concurrency
+// contract: concurrent Write/ReadNoCopy/Read on non-overlapping ranges,
+// interleaved with Alloc and counter reads, must be race-free (run under
+// -race in CI). This is the property the store's parallel recovery,
+// compaction and bulk-load paths rely on.
+func TestConcurrentDisjointAccess(t *testing.T) {
+	r := NewRegion(1<<20, Optane())
+	const workers = 8
+	const slot = 4096
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * slot)
+			buf := make([]byte, 64)
+			for i := 0; i < 200; i++ {
+				buf[0] = byte(w)
+				r.Write(base, buf)
+				r.Flush(base, len(buf))
+				got := r.ReadNoCopy(base, 64)
+				if got[0] != byte(w) {
+					t.Errorf("worker %d read back %d", w, got[0])
+					return
+				}
+				r.Read(base+128, buf)
+				if _, err := r.Alloc(32); err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	reads, writes, flushes := r.Stats()
+	if reads == 0 || writes == 0 || flushes == 0 {
+		t.Fatalf("counters not advancing: %d %d %d", reads, writes, flushes)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/parallel"
 )
 
 // Index is the range-partitioned wrapper.
@@ -19,6 +20,7 @@ type Index struct {
 	boundaries []uint64 // shard i covers [boundaries[i-1], boundaries[i])
 	shards     []*shard
 	name       string
+	scannable  bool // all shards implement index.Scanner (one factory => uniform)
 }
 
 type shard struct {
@@ -47,8 +49,14 @@ func New(factory func() index.Index, boundaries []uint64) *Index {
 		s.shards = append(s.shards, &shard{idx: factory()})
 	}
 	s.name = s.shards[0].idx.Name() + "+sharded"
+	_, s.scannable = s.shards[0].idx.(index.Scanner)
 	return s
 }
+
+// CanScan implements index.ScanChecker: every shard comes from the same
+// factory, so checking one probe instance decides the capability for the
+// whole wrapper.
+func (s *Index) CanScan() bool { return s.scannable }
 
 // Name implements index.Index.
 func (s *Index) Name() string { return s.name }
@@ -86,6 +94,20 @@ func (s *Index) Insert(key, value uint64) error {
 	return sh.idx.Insert(key, value)
 }
 
+// InsertReplace implements index.Upserter: the existence check and the
+// insert run under the same shard lock, so concurrent writers of the
+// same new key cannot both observe it as absent.
+func (s *Index) InsertReplace(key, value uint64) (bool, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if up, ok := sh.idx.(index.Upserter); ok {
+		return up.InsertReplace(key, value)
+	}
+	_, existed := sh.idx.Get(key)
+	return existed, sh.idx.Insert(key, value)
+}
+
 // Delete removes key if the inner index supports deletion.
 func (s *Index) Delete(key uint64) bool {
 	sh := s.shardFor(key)
@@ -99,53 +121,70 @@ func (s *Index) Delete(key uint64) bool {
 }
 
 // BulkLoad splits the sorted keys at the shard boundaries and bulk-loads
-// each shard.
+// the shards concurrently — each shard owns a disjoint key range, so the
+// loads are independent.
 func (s *Index) BulkLoad(keys, values []uint64) error {
-	start := 0
-	for i, sh := range s.shards {
-		end := len(keys)
-		if i < len(s.boundaries) {
-			end = start + sort.Search(len(keys)-start, func(j int) bool {
-				return keys[start+j] >= s.boundaries[i]
-			})
-		}
-		var vals []uint64
-		if values != nil {
-			vals = values[start:end]
-		}
-		if b, ok := sh.idx.(index.Bulk); ok {
-			if err := b.BulkLoad(keys[start:end], vals); err != nil {
+	// Shard split points in the sorted key array (cheap binary searches,
+	// done up front so the loads can fan out).
+	cuts := make([]int, len(s.shards)+1)
+	cuts[len(s.shards)] = len(keys)
+	for i := range s.boundaries {
+		cuts[i+1] = cuts[i] + sort.Search(len(keys)-cuts[i], func(j int) bool {
+			return keys[cuts[i]+j] >= s.boundaries[i]
+		})
+	}
+	return parallel.ForErr(parallel.Workers(len(s.shards)), len(s.shards), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := s.loadShard(i, keys[cuts[i]:cuts[i+1]], values, cuts[i]); err != nil {
 				return err
 			}
-		} else {
-			for j := start; j < end; j++ {
-				var v uint64
-				if values != nil {
-					v = values[j]
-				}
-				if err := sh.idx.Insert(keys[j], v); err != nil {
-					return err
-				}
-			}
 		}
-		start = end
+		return nil
+	})
+}
+
+// loadShard fills shard i with its key slice (offset is the slice's
+// position in the full value array).
+func (s *Index) loadShard(i int, keys, values []uint64, offset int) error {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var vals []uint64
+	if values != nil {
+		vals = values[offset : offset+len(keys)]
+	}
+	if b, ok := sh.idx.(index.Bulk); ok {
+		return b.BulkLoad(keys, vals)
+	}
+	for j, k := range keys {
+		var v uint64
+		if vals != nil {
+			v = vals[j]
+		}
+		if err := sh.idx.Insert(k, v); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // Scan visits entries with key >= start in ascending order across
 // shards. Each shard is read-locked in turn; the scan is not atomic with
-// respect to concurrent writers.
+// respect to concurrent writers. When the inner index type does not
+// support scans (CanScan() == false) the scan visits nothing — callers
+// such as viper.Store.Scan consult CanScan first and surface an error,
+// instead of the old behaviour of silently stopping mid-scan at the
+// first unscannable shard.
 func (s *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
+	if !s.scannable {
+		return
+	}
 	count := 0
 	stopped := false
 	from := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > start })
 	for i := from; i < len(s.shards) && !stopped; i++ {
 		sh := s.shards[i]
-		sc, ok := sh.idx.(index.Scanner)
-		if !ok {
-			return
-		}
+		sc := sh.idx.(index.Scanner)
 		sh.mu.RLock()
 		sc.Scan(start, 0, func(k, v uint64) bool {
 			if n > 0 && count >= n {

@@ -1,0 +1,329 @@
+package viper
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"learnedpieces/internal/btree"
+	"learnedpieces/internal/cceh"
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/parallel"
+	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/sharded"
+)
+
+// forceWorkers pins the global fan-out for the duration of a test (the
+// CI box may have a single core; the override still exercises the
+// concurrent merge logic through goroutine interleaving).
+func forceWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	t.Cleanup(func() { parallel.SetWorkers(prev) })
+}
+
+// TestConcurrentPutLiveCount is the regression test for the Put
+// live-count race: two writers inserting the same new key concurrently
+// must not double-count it. Before Store.Put derived existence from
+// index.Upserter (atomically with the insert), the unsynchronized
+// Get-then-Insert pair let both writers observe the key as absent and
+// liveLen ended up above the true key count. Run under -race in CI.
+func TestConcurrentPutLiveCount(t *testing.T) {
+	// Force real thread-level interleaving even on single-core CI boxes.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	keys := dataset.Generate(dataset.YCSBUniform, 1500, 11)
+	idx := sharded.New(func() index.Index { return btree.New() },
+		sharded.BoundariesFromSample(keys, 16))
+	s := newStore(idx)
+	const writers = 4
+	var wg sync.WaitGroup
+	// For every key, release a pack of writers at the same instant so
+	// they race to insert the same *new* key. Each insert must be
+	// counted exactly once.
+	for _, k := range keys {
+		start := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(k uint64, w int) {
+				defer wg.Done()
+				v := make([]byte, 32)
+				v[0] = byte(w)
+				<-start
+				if err := s.Put(k, v); err != nil {
+					t.Errorf("put: %v", err)
+				}
+			}(k, w)
+		}
+		close(start)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d (live-count race)", s.Len(), len(keys))
+	}
+	if got := idx.Len(); got != len(keys) {
+		t.Fatalf("index Len = %d, want %d", got, len(keys))
+	}
+}
+
+// TestConcurrentPutMultiGetDelete exercises the full concurrent surface
+// (Put, MultiGet, Delete) against a sharded index under -race.
+func TestConcurrentPutMultiGetDelete(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBUniform, 8000, 12)
+	idx := sharded.New(func() index.Index { return btree.New() },
+		sharded.BoundariesFromSample(keys, 16))
+	s := newStore(idx)
+	for _, k := range keys[:4000] {
+		if err := s.Put(k, value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) { // writers: insert the second half
+			defer wg.Done()
+			for i := 4000 + w; i < len(keys); i += 2 {
+				if err := s.Put(keys[i], value(keys[i])); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // deleter: remove a slice of the preloaded half
+		defer wg.Done()
+		for _, k := range keys[:1000] {
+			if _, err := s.Delete(k); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // batched reader over a stable slice
+		defer wg.Done()
+		batch := keys[2000:4000]
+		for i := 0; i < 20; i++ {
+			vals := s.MultiGet(batch)
+			for j, v := range vals {
+				if v == nil {
+					t.Errorf("key %d lost during concurrent ops", batch[j])
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := len(keys) - 1000
+	if s.Len() != want {
+		t.Fatalf("Len = %d, want %d", s.Len(), want)
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	s := newStore(btree.New())
+	keys := dataset.Generate(dataset.OSMLike, 3000, 3)
+	for _, k := range keys {
+		if err := s.Put(k, value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Delete(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Batch mixing present, deleted and absent keys, unsorted.
+	batch := []uint64{keys[100], keys[1], 0xffff_ffff_ffff_fff0, keys[0], keys[2999]}
+	vals := s.MultiGet(batch)
+	if len(vals) != len(batch) {
+		t.Fatalf("got %d results", len(vals))
+	}
+	for _, i := range []int{0, 3, 4} {
+		if !bytes.Equal(vals[i], value(batch[i])) {
+			t.Fatalf("batch[%d] = %q", i, vals[i])
+		}
+	}
+	if vals[1] != nil {
+		t.Fatal("deleted key returned a value")
+	}
+	if vals[2] != nil {
+		t.Fatal("absent key returned a value")
+	}
+	// MultiGet agrees with Get over the full key set.
+	all := s.MultiGet(keys)
+	for i, k := range keys {
+		got, ok := s.Get(k)
+		if ok != (all[i] != nil) || (ok && !bytes.Equal(got, all[i])) {
+			t.Fatalf("MultiGet disagrees with Get at key %d", k)
+		}
+	}
+}
+
+// contents captures the full logical state of the store.
+func contents(t *testing.T, s *Store, universe []uint64) map[uint64]string {
+	t.Helper()
+	out := make(map[uint64]string)
+	for _, k := range universe {
+		if v, ok := s.Get(k); ok {
+			out[k] = string(v)
+		}
+	}
+	return out
+}
+
+// buildMultiPageStore produces a deterministic store whose log spans
+// several pages and contains overwrites and tombstones (including runs
+// that straddle page boundaries).
+func buildMultiPageStore(t *testing.T, region *pmem.Region) (*Store, []uint64) {
+	t.Helper()
+	s := Open(region, btree.New())
+	keys := dataset.Generate(dataset.YCSBNormal, 6000, 21)
+	big := make([]byte, 700) // ~6000*713B ≈ 4 pages per round
+	for round := 0; round < 3; round++ {
+		for i, k := range keys {
+			copy(big, fmt.Sprintf("r%d-%d", round, i))
+			if err := s.Put(k, big); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, k := range keys[1000:2000] {
+		if _, err := s.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys[1500:1700] { // revive some deleted keys
+		if err := s.Put(k, []byte("revived")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.pages) < 4 {
+		t.Fatalf("want a multi-page log, got %d pages", len(s.pages))
+	}
+	return s, keys
+}
+
+// TestRecoverSerialParallelEquivalence asserts the property the parallel
+// scan's chunk-ordered merge must preserve: serial and parallel Recover
+// see identical key→value contents, including overwrites and tombstones
+// spanning page boundaries.
+func TestRecoverSerialParallelEquivalence(t *testing.T) {
+	s, keys := buildMultiPageStore(t, pmem.NewRegion(64<<20, pmem.None()))
+	want := contents(t, s, keys)
+
+	forceWorkers(t, 1)
+	if err := s.Recover(btree.New()); err != nil {
+		t.Fatal(err)
+	}
+	serial := contents(t, s, keys)
+	serialLen := s.Len()
+
+	forceWorkers(t, 7) // deliberately not a divisor of the page count
+	if err := s.Recover(btree.New()); err != nil {
+		t.Fatal(err)
+	}
+	par := contents(t, s, keys)
+
+	if len(serial) != len(want) {
+		t.Fatalf("serial recovery lost state: %d vs %d keys", len(serial), len(want))
+	}
+	compareContents(t, want, serial, "serial recovery")
+	compareContents(t, serial, par, "parallel vs serial recovery")
+	if s.Len() != serialLen {
+		t.Fatalf("Len diverged: %d vs %d", s.Len(), serialLen)
+	}
+}
+
+// TestCompactSerialParallelEquivalence builds two identical stores and
+// compacts one serially, one in parallel: contents must match each other
+// and the pre-compaction state.
+func TestCompactSerialParallelEquivalence(t *testing.T) {
+	s1, keys := buildMultiPageStore(t, pmem.NewRegion(64<<20, pmem.None()))
+	s2, _ := buildMultiPageStore(t, pmem.NewRegion(64<<20, pmem.None()))
+	want := contents(t, s1, keys)
+
+	forceWorkers(t, 1)
+	if _, err := s1.Compact(btree.New()); err != nil {
+		t.Fatal(err)
+	}
+	forceWorkers(t, 7)
+	if _, err := s2.Compact(btree.New()); err != nil {
+		t.Fatal(err)
+	}
+	compareContents(t, want, contents(t, s1, keys), "serial compaction")
+	compareContents(t, want, contents(t, s2, keys), "parallel compaction")
+	if s1.Len() != s2.Len() {
+		t.Fatalf("Len diverged: %d vs %d", s1.Len(), s2.Len())
+	}
+	// And both logs still recover (in parallel) to the same state.
+	if err := s2.Recover(btree.New()); err != nil {
+		t.Fatal(err)
+	}
+	compareContents(t, want, contents(t, s2, keys), "recovery after parallel compaction")
+}
+
+// TestBulkPutParallelEquivalence checks the worker-pool append path
+// against the serial one.
+func TestBulkPutParallelEquivalence(t *testing.T) {
+	keys := dataset.Generate(dataset.OSMLike, 20000, 4)
+	v := value(7)
+	load := func(workers int) *Store {
+		forceWorkers(t, workers)
+		s := newStore(btree.New())
+		if err := s.BulkPut(keys, v); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial := load(1)
+	par := load(6)
+	compareContents(t, contents(t, serial, keys), contents(t, par, keys), "parallel bulk put")
+	if par.Len() != len(keys) {
+		t.Fatalf("Len = %d", par.Len())
+	}
+	// Parallel appends land at interleaved offsets; recovery must still
+	// resolve every key.
+	forceWorkers(t, 6)
+	if err := par.Recover(btree.New()); err != nil {
+		t.Fatal(err)
+	}
+	if par.Len() != len(keys) {
+		t.Fatalf("recovered Len = %d", par.Len())
+	}
+}
+
+func compareContents(t *testing.T, want, got map[uint64]string, what string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d keys, want %d", what, len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s: key %d = %q, want %q", what, k, got[k], v)
+		}
+	}
+}
+
+// TestScanCapabilityError: a sharded index over an unordered inner type
+// reports the missing scan capability up front instead of silently
+// visiting nothing.
+func TestScanCapabilityError(t *testing.T) {
+	idx := sharded.New(func() index.Index { return cceh.New() }, []uint64{1 << 32})
+	s := newStore(idx)
+	if err := s.Put(42, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Scan(0, 10, func(uint64, []byte) bool { t.Fatal("scan visited an entry"); return false })
+	if err == nil {
+		t.Fatal("Scan over unscannable sharded index returned nil error")
+	}
+}

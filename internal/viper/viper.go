@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pmem"
 )
 
@@ -128,6 +129,12 @@ func (s *Store) appendRecord(key uint64, value []byte, flags byte) (int64, error
 
 // Put stores value under key (insert or update). Concurrent Puts are
 // safe iff the index supports concurrent writes.
+//
+// Existence (for the live-key counter) is derived atomically with the
+// insert when the index implements index.Upserter; the Get-then-Insert
+// fallback is only exact for single-writer indexes, which is the only
+// place it is used — every concurrent-write index in the repository
+// (sharded, CCEH, XIndex) implements Upserter.
 func (s *Store) Put(key uint64, value []byte) error {
 	if len(value) == 0 {
 		return ErrEmptyValue
@@ -136,8 +143,14 @@ func (s *Store) Put(key uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	_, existed := s.idx.Get(key)
-	if err := s.idx.Insert(key, uint64(off)); err != nil {
+	var existed bool
+	if up, ok := s.idx.(index.Upserter); ok {
+		existed, err = up.InsertReplace(key, uint64(off))
+	} else {
+		_, existed = s.idx.Get(key)
+		err = s.idx.Insert(key, uint64(off))
+	}
+	if err != nil {
 		return fmt.Errorf("viper: index insert: %w", err)
 	}
 	if !existed {
@@ -161,21 +174,59 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 	return s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen)), true
 }
 
+// MultiGet resolves the whole batch of keys against the volatile index
+// first and only then touches PMem, reading the matching records in
+// ascending offset order. Separating the two phases amortises the
+// simulated NVM latency: offset-ordered reads maximise the device
+// block-buffer hit rate, where per-key Gets interleave index probes with
+// scattered record reads. out[i] is nil when keys[i] is absent or
+// deleted; returned slices alias the region and must not be modified.
+// MultiGet is as safe for concurrent use as Get.
+func (s *Store) MultiGet(keys []uint64) [][]byte {
+	out := make([][]byte, len(keys))
+	type hit struct {
+		pos int
+		off int64
+	}
+	hits := make([]hit, 0, len(keys))
+	for i, k := range keys {
+		if off, ok := s.idx.Get(k); ok {
+			hits = append(hits, hit{i, int64(off)})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].off < hits[b].off })
+	for _, h := range hits {
+		hdr := s.region.ReadNoCopy(h.off, recordHeader)
+		if hdr[12]&flagDeleted != 0 {
+			continue
+		}
+		vlen := binary.LittleEndian.Uint32(hdr[8:12])
+		out[h.pos] = s.region.ReadNoCopy(h.off+recordHeader, int(vlen))
+	}
+	return out
+}
+
 // Delete removes key: a tombstone record is appended for recovery and
 // the key is dropped from the volatile index. Like Put, concurrent use
-// requires an index with concurrent write support.
+// requires an index with concurrent write support. The capability check
+// runs before anything is written, so an index without delete support
+// leaves no stray tombstone in the log.
 func (s *Store) Delete(key uint64) (bool, error) {
+	d, ok := s.idx.(index.Deleter)
+	if !ok {
+		return false, fmt.Errorf("viper: index %s cannot delete", s.idx.Name())
+	}
 	if _, ok := s.idx.Get(key); !ok {
 		return false, nil
 	}
 	if _, err := s.appendRecord(key, nil, flagDeleted); err != nil {
 		return false, err
 	}
-	d, ok := s.idx.(index.Deleter)
-	if !ok {
-		return false, fmt.Errorf("viper: index %s cannot delete", s.idx.Name())
+	if !d.Delete(key) {
+		// A concurrent deleter won the race after our Get; the extra
+		// tombstone is harmless and the loser reports "not present".
+		return false, nil
 	}
-	d.Delete(key)
 	s.liveLen.Add(-1)
 	return true, nil
 }
@@ -185,6 +236,9 @@ func (s *Store) Delete(key uint64) (bool, error) {
 func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
 	sc, ok := s.idx.(index.Scanner)
 	if !ok {
+		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
+	}
+	if c, ok := s.idx.(index.ScanChecker); ok && !c.CanScan() {
 		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
 	}
 	sc.Scan(start, n, func(k, off uint64) bool {
@@ -198,24 +252,38 @@ func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool
 	return nil
 }
 
+// bulkMinPerWorker is the smallest record batch worth a goroutine in the
+// bulk append paths (BulkPut, Compact's copy phase).
+const bulkMinPerWorker = 4096
+
 // BulkPut loads sorted distinct keys with a shared value payload through
 // the index's bulk path — the store initialisation the paper uses before
-// its read-only experiments.
+// its read-only experiments. The PMem appends fan out across a worker
+// pool (keys are distinct, so the physical append order is irrelevant
+// for recovery's newest-version-wins rule); the index bulk-load then
+// runs once over the full sorted array.
 func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
-	offs := make([]uint64, len(keys))
-	for i, k := range keys {
-		off, err := s.appendRecord(k, value, 0)
-		if err != nil {
-			return err
-		}
-		offs[i] = uint64(off)
-	}
 	b, ok := s.idx.(index.Bulk)
 	if !ok {
 		return fmt.Errorf("viper: index %s cannot bulk load", s.idx.Name())
+	}
+	offs := make([]uint64, len(keys))
+	workers := parallel.Workers(len(keys) / bulkMinPerWorker)
+	err := parallel.ForErr(workers, len(keys), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			off, err := s.appendRecord(keys[i], value, 0)
+			if err != nil {
+				return err
+			}
+			offs[i] = uint64(off)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if err := b.BulkLoad(keys, offs); err != nil {
 		return err
@@ -224,54 +292,103 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	return nil
 }
 
-// Recover rebuilds the volatile index from the PMem pages after a
-// (simulated) crash: it scans every record in append order, keeps the
-// newest version per key, drops tombstones, and bulk-loads the index.
-// The caller provides a fresh index instance.
-func (s *Store) Recover(fresh index.Index) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	type entry struct {
-		off  uint64
-		dead bool
-	}
-	live := make(map[uint64]entry)
-	for _, page := range s.pages {
-		pos := 0
-		for pos+recordHeader <= PageSize {
-			off := page + int64(pos)
-			hdr := s.region.ReadNoCopy(off, recordHeader)
-			key := binary.LittleEndian.Uint64(hdr[0:8])
-			vlen := binary.LittleEndian.Uint32(hdr[8:12])
-			flags := hdr[12]
-			if key == 0 && vlen == 0 && flags == 0 {
-				break // end of page
+// entry is the newest observed version of a key during a page scan.
+type entry struct {
+	off  uint64
+	dead bool
+}
+
+// scanPages replays the given pages and returns the newest version of
+// every key. Pages fan out across workers in contiguous chunks of the
+// allocation order; each worker scans its chunk serially (so within a
+// chunk, later records win) and the per-worker maps are then merged in
+// chunk order (so records from later chunks win over earlier ones).
+// Chunking the *allocation order* contiguously is what preserves the
+// serial scan's newest-version-wins rule exactly: the winner for any key
+// is the record that appears last in (page allocation order, offset
+// within page), and that total order is respected first within chunks,
+// then across the ordered merge.
+func (s *Store) scanPages(pages []int64) map[uint64]entry {
+	scanChunk := func(pages []int64, live map[uint64]entry) {
+		for _, page := range pages {
+			pos := 0
+			for pos+recordHeader <= PageSize {
+				off := page + int64(pos)
+				hdr := s.region.ReadNoCopy(off, recordHeader)
+				key := binary.LittleEndian.Uint64(hdr[0:8])
+				vlen := binary.LittleEndian.Uint32(hdr[8:12])
+				flags := hdr[12]
+				if key == 0 && vlen == 0 && flags == 0 {
+					break // end of page
+				}
+				live[key] = entry{uint64(off), flags&flagDeleted != 0}
+				pos += recordHeader + int(vlen)
 			}
-			live[key] = entry{uint64(off), flags&flagDeleted != 0}
-			pos += recordHeader + int(vlen)
 		}
 	}
-	keys := make([]uint64, 0, len(live))
+	workers := parallel.Workers(len(pages))
+	if workers <= 1 {
+		live := make(map[uint64]entry)
+		scanChunk(pages, live)
+		return live
+	}
+	partial := make([]map[uint64]entry, workers)
+	parallel.For(workers, len(pages), func(w, lo, hi int) {
+		live := make(map[uint64]entry)
+		scanChunk(pages[lo:hi], live)
+		partial[w] = live
+	})
+	live := partial[0]
+	for _, p := range partial[1:] {
+		for k, e := range p {
+			live[k] = e
+		}
+	}
+	return live
+}
+
+// liveSorted extracts the surviving keys (tombstones dropped) in sorted
+// order with their record offsets.
+func liveSorted(live map[uint64]entry) (keys, offs []uint64) {
+	keys = make([]uint64, 0, len(live))
 	for k, e := range live {
 		if !e.dead {
 			keys = append(keys, k)
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	offs := make([]uint64, len(keys))
+	offs = make([]uint64, len(keys))
 	for i, k := range keys {
 		offs[i] = live[k].off
 	}
+	return keys, offs
+}
+
+// installBulk loads (keys, offs) into fresh via its bulk path, falling
+// back to one insert per key.
+func installBulk(fresh index.Index, keys, offs []uint64) error {
 	if b, ok := fresh.(index.Bulk); ok {
-		if err := b.BulkLoad(keys, offs); err != nil {
+		return b.BulkLoad(keys, offs)
+	}
+	for i, k := range keys {
+		if err := fresh.Insert(k, offs[i]); err != nil {
 			return err
 		}
-	} else {
-		for i, k := range keys {
-			if err := fresh.Insert(k, offs[i]); err != nil {
-				return err
-			}
-		}
+	}
+	return nil
+}
+
+// Recover rebuilds the volatile index from the PMem pages after a
+// (simulated) crash: it scans every record, keeps the newest version per
+// key, drops tombstones, and bulk-loads the index. The page scan runs
+// page-parallel (see scanPages) and the index's own bulk-load path may
+// fan out further. The caller provides a fresh index instance.
+func (s *Store) Recover(fresh index.Index) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys, offs := liveSorted(s.scanPages(s.pages))
+	if err := installBulk(fresh, keys, offs); err != nil {
+		return err
 	}
 	s.idx = fresh
 	s.liveLen.Store(int64(len(keys)))
@@ -283,6 +400,12 @@ func (s *Store) Recover(fresh index.Index) error {
 // space reclamation, as a stop-the-world pass: the caller must quiesce
 // readers and writers). The volatile index is rebuilt with the new
 // offsets. It returns the number of bytes reclaimed.
+//
+// Both heavy phases run multi-core: the old pages are scanned with the
+// same page-parallel pass as recovery, and the live records are copied
+// by concurrent appenders that claim disjoint slots through the
+// lock-free claim path (keys are distinct after the scan, so the
+// physical order of the copies does not matter).
 func (s *Store) Compact(fresh index.Index) (int64, error) {
 	s.mu.Lock()
 	oldPages := s.pages
@@ -291,59 +414,32 @@ func (s *Store) Compact(fresh index.Index) (int64, error) {
 	s.mu.Unlock()
 
 	// Newest version per key, exactly like recovery.
-	type entry struct {
-		off  int64
-		dead bool
-	}
-	live := make(map[uint64]entry)
-	for _, page := range oldPages {
-		pos := 0
-		for pos+recordHeader <= PageSize {
-			off := page + int64(pos)
-			hdr := s.region.ReadNoCopy(off, recordHeader)
-			key := binary.LittleEndian.Uint64(hdr[0:8])
-			vlen := binary.LittleEndian.Uint32(hdr[8:12])
-			flags := hdr[12]
-			if key == 0 && vlen == 0 && flags == 0 {
-				break
-			}
-			live[key] = entry{off, flags&flagDeleted != 0}
-			pos += recordHeader + int(vlen)
-		}
-	}
-	keys := make([]uint64, 0, len(live))
-	for k, e := range live {
-		if !e.dead {
-			keys = append(keys, k)
-		}
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys, srcs := liveSorted(s.scanPages(oldPages))
 
 	// Copy live records into fresh pages.
 	offs := make([]uint64, len(keys))
-	for i, k := range keys {
-		src := live[k].off
-		hdr := s.region.ReadNoCopy(src, recordHeader)
-		vlen := int(binary.LittleEndian.Uint32(hdr[8:12]))
-		val := s.region.ReadNoCopy(src+recordHeader, vlen)
-		off, err := s.appendRecord(k, val, 0)
-		if err != nil {
-			return 0, err
+	workers := parallel.Workers(len(keys) / bulkMinPerWorker)
+	err := parallel.ForErr(workers, len(keys), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			src := int64(srcs[i])
+			hdr := s.region.ReadNoCopy(src, recordHeader)
+			vlen := int(binary.LittleEndian.Uint32(hdr[8:12]))
+			val := s.region.ReadNoCopy(src+recordHeader, vlen)
+			off, err := s.appendRecord(keys[i], val, 0)
+			if err != nil {
+				return err
+			}
+			offs[i] = uint64(off)
 		}
-		offs[i] = uint64(off)
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 
 	// Install the rebuilt index.
-	if b, ok := fresh.(index.Bulk); ok {
-		if err := b.BulkLoad(keys, offs); err != nil {
-			return 0, err
-		}
-	} else {
-		for i, k := range keys {
-			if err := fresh.Insert(k, offs[i]); err != nil {
-				return 0, err
-			}
-		}
+	if err := installBulk(fresh, keys, offs); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	s.idx = fresh
