@@ -31,8 +31,8 @@ func loadedIndex(b *testing.B, name string, keys []uint64) index.Index {
 		b.Fatalf("unknown index %s", name)
 	}
 	idx := e.New()
-	if bulk, ok := idx.(index.Bulk); ok {
-		if err := bulk.BulkLoad(keys, keys); err != nil {
+	if index.CapsOf(idx).Bulk {
+		if err := idx.(index.Bulk).BulkLoad(keys, keys); err != nil {
 			b.Fatal(err)
 		}
 	} else {
@@ -177,10 +177,9 @@ func BenchmarkFig15MixedYCSBA(b *testing.B) {
 func BenchmarkTable3Sizes(b *testing.B) {
 	keys := dataset.Generate(dataset.YCSBNormal, benchN, 1)
 	idx := loadedIndex(b, "alex", keys)
-	sized := idx.(index.Sized)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if sized.Sizes().Total() <= 0 {
+		if sz, ok := index.SizesOf(idx); !ok || sz.Total() <= 0 {
 			b.Fatal("bad sizes")
 		}
 	}
@@ -333,8 +332,7 @@ func BenchmarkFig18bcdRetraining(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			if rep, ok := idx.(index.RetrainReporter); ok {
-				count, ns := rep.RetrainStats()
+			if count, ns, ok := index.RetrainStatsOf(idx); ok {
 				b.ReportMetric(float64(count), "retrains")
 				b.ReportMetric(float64(ns), "retrain-ns")
 			}

@@ -5,6 +5,8 @@
 //	libench -exp fig10                # one experiment at default scale
 //	libench -exp all -n 100000        # everything, smaller
 //	libench -list                     # show available experiments
+//	libench -exp fig10 -obs :6060     # live expvar/pprof/telemetry
+//	libench -exp fig10 -snapshot BENCH.json
 //
 // Scale note: the paper runs 200M-800M keys on a dual-socket Optane
 // server; the defaults here are 200k-800k so a laptop regenerates every
@@ -21,24 +23,47 @@ import (
 
 	"learnedpieces/internal/bench"
 	"learnedpieces/internal/parallel"
+	"learnedpieces/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		n       = flag.Int("n", 200_000, "base dataset size")
-		sizes   = flag.String("sizes", "", "comma-separated size sweep (default n,2n,4n)")
-		threads = flag.String("threads", "1,2,4,8", "comma-separated thread sweep")
-		ops     = flag.Int("ops", 0, "requests per measured phase (default n)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		pm      = flag.Bool("pmem", true, "simulate NVM latency in the KV store")
-		vs      = flag.Int("valuesize", 200, "record value size in bytes")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		batch   = flag.Int("batch", 0, "batched reads: MultiGet batch size for the read-only experiments (0/1 = per-key Get)")
-		workers = flag.Int("workers", 0, "worker count for parallel bulk paths (recovery/compaction/bulk-load/training); 0 = all cores")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		n        = flag.Int("n", 200_000, "base dataset size")
+		sizes    = flag.String("sizes", "", "comma-separated size sweep (default n,2n,4n)")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread sweep")
+		ops      = flag.Int("ops", 0, "requests per measured phase (default n)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		pm       = flag.Bool("pmem", true, "simulate NVM latency in the KV store")
+		vs       = flag.Int("valuesize", 200, "record value size in bytes")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		batch    = flag.Int("batch", 0, "batched reads: MultiGet batch size for the read-only experiments (0/1 = per-key Get)")
+		workers  = flag.Int("workers", 0, "worker count for parallel bulk paths (recovery/compaction/bulk-load/training); 0 = all cores")
+		obs      = flag.String("obs", "", "serve expvar, pprof and /telemetry on this address (e.g. :6060)")
+		snapshot = flag.String("snapshot", "", "write the run's JSON telemetry snapshot to this file on exit")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	fatalf := func(code int, format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(code)
+	}
+	if *n <= 0 {
+		fatalf(2, "-n must be positive, got %d", *n)
+	}
+	if *vs <= 0 {
+		fatalf(2, "-valuesize must be positive, got %d", *vs)
+	}
+	if *ops < 0 {
+		fatalf(2, "-ops must be non-negative, got %d", *ops)
+	}
+	if *batch < 0 {
+		fatalf(2, "-batch must be non-negative, got %d", *batch)
+	}
+	if *workers < 0 {
+		fatalf(2, "-workers must be non-negative, got %d", *workers)
+	}
 
 	parallel.SetWorkers(*workers)
 
@@ -49,6 +74,16 @@ func main() {
 		return
 	}
 
+	sink := telemetry.New()
+	if *obs != "" {
+		srv, err := telemetry.Serve(*obs, sink)
+		if err != nil {
+			fatalf(1, "observability endpoint: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/telemetry (also /debug/vars, /debug/pprof)\n", *obs)
+	}
+
 	cfg := bench.DefaultConfig(os.Stdout)
 	cfg.N = *n
 	cfg.Seed = *seed
@@ -57,6 +92,7 @@ func main() {
 	cfg.CSV = *csv
 	cfg.Batch = *batch
 	cfg.Ops = *ops
+	cfg.Telemetry = sink
 	if cfg.Ops <= 0 {
 		cfg.Ops = *n
 	}
@@ -71,8 +107,7 @@ func main() {
 		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			fatalf(1, "%s: %v", e.ID, err)
 		}
 		fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
@@ -81,15 +116,29 @@ func main() {
 		for _, e := range bench.All() {
 			run(e)
 		}
-		return
-	}
-	for _, id := range strings.Split(*exp, ",") {
-		e, ok := bench.Get(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Get(strings.TrimSpace(id))
+			if !ok {
+				fatalf(2, "unknown experiment %q (try -list)", id)
+			}
+			run(e)
 		}
-		run(e)
+	}
+
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fatalf(1, "snapshot: %v", err)
+		}
+		if err := sink.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			fatalf(1, "snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf(1, "snapshot: %v", err)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *snapshot)
 	}
 }
 

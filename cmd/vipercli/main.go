@@ -7,6 +7,10 @@
 //	> scan 0 10
 //	> crash
 //	> recover
+//
+// Store errors are printed to stderr and make the shell exit with a
+// non-zero status once the session ends, so batch scripts piping
+// commands in can detect failures.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"learnedpieces/internal/core"
 	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/telemetry"
 	"learnedpieces/internal/viper"
 )
 
@@ -27,6 +32,7 @@ func main() {
 		indexName = flag.String("index", "alex", "volatile index (see libench -list / Table I names)")
 		size      = flag.Int("mem", 256<<20, "simulated PMem bytes")
 		latency   = flag.Bool("pmem", false, "simulate NVM latency")
+		obs       = flag.String("obs", "", "serve expvar, pprof and /telemetry on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -35,20 +41,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
 		os.Exit(2)
 	}
+	if *size <= 0 {
+		fmt.Fprintf(os.Stderr, "-mem must be positive, got %d\n", *size)
+		os.Exit(2)
+	}
 	lat := pmem.None()
 	if *latency {
 		lat = pmem.Optane()
 	}
 	region := pmem.NewRegion(*size, lat)
-	store := viper.Open(region, entry.New())
+	sink := telemetry.New()
+	if *obs != "" {
+		srv, err := telemetry.Serve(*obs, sink)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "observability endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/telemetry (also /debug/vars, /debug/pprof)\n", *obs)
+	}
+	store := viper.Open(region, entry.New(), viper.WithTelemetry(sink))
 	fmt.Printf("viper store with %s index over %d MB simulated PMem\n", *indexName, *size>>20)
 	fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> <n> | len | stats | crash | recover | quit")
+
+	// Store errors don't abort the shell (the session stays usable) but
+	// they must not be swallowed either: report on stderr and remember a
+	// failing exit status for when the session ends.
+	exitCode := 0
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		exitCode = 1
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
-			return
+			if err := sc.Err(); err != nil {
+				fail(err)
+			}
+			os.Exit(exitCode)
 		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -56,7 +88,7 @@ func main() {
 		}
 		switch fields[0] {
 		case "quit", "exit":
-			return
+			os.Exit(exitCode)
 		case "put":
 			if len(fields) != 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -68,7 +100,7 @@ func main() {
 				continue
 			}
 			if err := store.Put(k, []byte(fields[2])); err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 			}
 		case "get":
 			if len(fields) != 2 {
@@ -97,7 +129,7 @@ func main() {
 			}
 			ok, err := store.Delete(k)
 			if err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 			} else {
 				fmt.Println("deleted:", ok)
 			}
@@ -117,7 +149,7 @@ func main() {
 				return true
 			})
 			if err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 			}
 		case "len":
 			fmt.Println(store.Len())
@@ -127,12 +159,13 @@ func main() {
 			fmt.Printf("pmem: %d reads, %d writes, %d flushes, %d/%d bytes allocated\n",
 				reads, writes, flushes, region.Allocated(), region.Size())
 			fmt.Printf("sizes: index=%d index+key=%d index+KV=%d\n", st, wk, wkv)
+			sink.Snapshot().WriteText(os.Stdout)
 		case "crash":
 			store.DropIndex(entry.New())
 			fmt.Println("DRAM index dropped; reads will miss until 'recover'")
 		case "recover":
 			if err := store.Recover(entry.New()); err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 			} else {
 				fmt.Printf("recovered %d keys\n", store.Len())
 			}

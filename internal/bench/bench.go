@@ -20,6 +20,7 @@ import (
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pmem"
 	"learnedpieces/internal/stats"
+	"learnedpieces/internal/telemetry"
 	"learnedpieces/internal/viper"
 	"learnedpieces/internal/workload"
 )
@@ -48,6 +49,11 @@ type Config struct {
 	Batch int
 	// CSV switches table output to CSV for plotting pipelines.
 	CSV bool
+	// Telemetry, when non-nil, attaches every store the harness builds
+	// to this sink: counters aggregate across experiments and the
+	// snapshot written at the end of a run (libench -snapshot) digests
+	// the whole session.
+	Telemetry *telemetry.Sink
 	// Out receives the rendered tables.
 	Out io.Writer
 }
@@ -143,10 +149,19 @@ func (cfg Config) value() []byte {
 	return v
 }
 
+// storeOptions translates the config into viper.Open options.
+func (cfg Config) storeOptions() []viper.Option {
+	opts := []viper.Option{viper.WithValueSize(cfg.ValueSize)}
+	if cfg.Telemetry != nil {
+		opts = append(opts, viper.WithTelemetry(cfg.Telemetry))
+	}
+	return opts
+}
+
 // buildStore creates a Viper store over idx pre-loaded with keys.
 func (cfg Config) buildStore(idx index.Index, keys []uint64) (*viper.Store, error) {
-	s := viper.Open(cfg.regionFor(len(keys)), idx)
-	if _, ok := idx.(index.Bulk); ok {
+	s := viper.Open(cfg.regionFor(len(keys)), idx, cfg.storeOptions()...)
+	if s.Caps().Bulk {
 		return s, s.BulkPut(keys, cfg.value())
 	}
 	v := cfg.value()

@@ -71,7 +71,8 @@ func RunTable2(cfg Config) error {
 			if err := idx.(index.Bulk).BulkLoad(keys, keys); err != nil {
 				return err
 			}
-			row = append(row, fmt.Sprintf("%.2f", idx.(index.DepthReporter).AvgDepth()))
+			depth, _ := index.DepthOf(idx)
+			row = append(row, fmt.Sprintf("%.2f", depth))
 		}
 		t.AddRow(row...)
 	}
@@ -218,6 +219,14 @@ func (l *lockedIndex) InsertReplace(key, value uint64) (bool, error) {
 }
 
 func (l *lockedIndex) Name() string { return l.Index.Name() + "+lock" }
+
+// Caps implements index.Capser. The embedded field is the narrow
+// index.Index interface, so none of the inner type's optional interfaces
+// are promoted — the wrapper's real surface is exactly point reads and
+// writes, made concurrent-safe (and InsertReplace exact) by the lock.
+func (l *lockedIndex) Caps() index.Caps {
+	return index.Caps{Upsert: true, ConcurrentReads: true, ConcurrentWrites: true}
+}
 
 // RunFig14 reproduces Fig 14: multi-threaded write-only. XIndex writes
 // concurrently natively; CCEH via its internal lock; the traditional
@@ -385,8 +394,8 @@ func RunFig16(cfg Config) error {
 			runtime.GC()
 			start = time.Now()
 			var build time.Duration
-			if b, ok := idx.(index.Bulk); ok {
-				if err := b.BulkLoad(keys, offs); err != nil {
+			if index.CapsOf(idx).Bulk {
+				if err := idx.(index.Bulk).BulkLoad(keys, offs); err != nil {
 					return err
 				}
 				build = time.Since(start)

@@ -88,13 +88,10 @@ func RunExtLIPP(cfg Config) error {
 			}
 		}
 		insMops := float64(len(inserts)) / time.Since(start).Seconds() / 1e6
-		depth := 0.0
-		if d, ok := s.Index().(index.DepthReporter); ok {
-			depth = d.AvgDepth()
-		}
+		depth, _ := index.DepthOf(s.Index())
 		var structure int64
-		if sz, ok := s.Index().(index.Sized); ok {
-			structure = sz.Sizes().Structure
+		if sz, ok := index.SizesOf(s.Index()); ok {
+			structure = sz.Structure
 		}
 		t.AddRow(name, mops(readSum), usec(readSum.P999Ns), insMops,
 			fmt.Sprintf("%.2f", depth), human(structure))

@@ -242,7 +242,6 @@ func RunFig18b(cfg Config) error {
 		if err := idx.(index.Bulk).BulkLoad(load, load); err != nil {
 			return err
 		}
-		rep := idx.(index.RetrainReporter)
 		checkpoints := 4
 		chunk := len(order) / checkpoints
 		for c := 0; c < checkpoints; c++ {
@@ -251,7 +250,7 @@ func RunFig18b(cfg Config) error {
 					return err
 				}
 			}
-			count, ns := rep.RetrainStats()
+			count, ns, _ := index.RetrainStatsOf(idx)
 			avg := time.Duration(0)
 			if count > 0 {
 				avg = time.Duration(ns / count)
@@ -314,7 +313,7 @@ func RunFig18d(cfg Config) error {
 			}
 		}
 		total := time.Since(start)
-		_, retrainNs := idx.(index.RetrainReporter).RetrainStats()
+		_, retrainNs, _ := index.RetrainStatsOf(idx)
 		t.AddRow(name, total, time.Duration(retrainNs), total-time.Duration(retrainNs))
 	}
 	cfg.render(t)

@@ -1,0 +1,87 @@
+package index
+
+import "testing"
+
+// fakeBase implements only the mandatory Index interface.
+type fakeBase struct{}
+
+func (fakeBase) Name() string                   { return "fake" }
+func (fakeBase) Get(uint64) (uint64, bool)      { return 0, false }
+func (fakeBase) Insert(key, value uint64) error { return nil }
+func (fakeBase) Len() int                       { return 0 }
+
+// fakeFull implements every optional interface.
+type fakeFull struct {
+	fakeBase
+	canScan bool
+}
+
+func (fakeFull) BulkLoad(keys, values []uint64) error     { return nil }
+func (fakeFull) Scan(uint64, int, func(k, v uint64) bool) {}
+func (f fakeFull) CanScan() bool                          { return f.canScan }
+func (fakeFull) Delete(uint64) bool                       { return false }
+func (fakeFull) InsertReplace(k, v uint64) (bool, error)  { return false, nil }
+func (fakeFull) Sizes() Sizes                             { return Sizes{Structure: 1} }
+func (fakeFull) AvgDepth() float64                        { return 2 }
+func (fakeFull) RetrainStats() (int64, int64)             { return 3, 4 }
+func (fakeFull) ConcurrentReads() bool                    { return true }
+func (fakeFull) ConcurrentWrites() bool                   { return false }
+
+// fakeCapser overrides interface probing entirely.
+type fakeCapser struct{ fakeFull }
+
+func (fakeCapser) Caps() Caps { return Caps{Scan: true} }
+
+func TestCapsOfBase(t *testing.T) {
+	if got := CapsOf(fakeBase{}); got != (Caps{}) {
+		t.Fatalf("CapsOf(base) = %+v, want zero", got)
+	}
+}
+
+func TestCapsOfFull(t *testing.T) {
+	got := CapsOf(fakeFull{canScan: true})
+	want := Caps{
+		Bulk: true, Scan: true, Delete: true, Upsert: true,
+		Sized: true, Depth: true, Retrain: true,
+		ConcurrentReads: true, ConcurrentWrites: false,
+	}
+	if got != want {
+		t.Fatalf("CapsOf(full) = %+v, want %+v", got, want)
+	}
+}
+
+func TestCapsOfFoldsScanChecker(t *testing.T) {
+	if CapsOf(fakeFull{canScan: false}).Scan {
+		t.Fatal("CanScan()==false must clear Caps.Scan")
+	}
+}
+
+func TestCapsOfPrefersCapser(t *testing.T) {
+	got := CapsOf(fakeCapser{})
+	if got != (Caps{Scan: true}) {
+		t.Fatalf("CapsOf(capser) = %+v, want Caps{Scan:true}", got)
+	}
+}
+
+func TestHelperExtractors(t *testing.T) {
+	full := fakeFull{}
+	if sz, ok := SizesOf(full); !ok || sz.Structure != 1 {
+		t.Fatalf("SizesOf = %+v,%v", sz, ok)
+	}
+	if d, ok := DepthOf(full); !ok || d != 2 {
+		t.Fatalf("DepthOf = %v,%v", d, ok)
+	}
+	if c, ns, ok := RetrainStatsOf(full); !ok || c != 3 || ns != 4 {
+		t.Fatalf("RetrainStatsOf = %d,%d,%v", c, ns, ok)
+	}
+	base := fakeBase{}
+	if _, ok := SizesOf(base); ok {
+		t.Fatal("SizesOf(base) should report false")
+	}
+	if _, ok := DepthOf(base); ok {
+		t.Fatal("DepthOf(base) should report false")
+	}
+	if _, _, ok := RetrainStatsOf(base); ok {
+		t.Fatal("RetrainStatsOf(base) should report false")
+	}
+}

@@ -50,8 +50,11 @@ type Upserter interface {
 
 // ScanChecker is implemented by wrapper indexes whose scan support
 // depends on their inner index (the sharded wrapper always has a Scan
-// method, but can only honour it when its shards do). Callers that
-// gate on Scanner should also consult CanScan when present.
+// method, but can only honour it when its shards do).
+//
+// Deprecated: consult CapsOf(idx).Scan instead, which folds this
+// protocol in. The interface remains as an implementation seam for
+// wrappers that predate Capser.
 type ScanChecker interface {
 	CanScan() bool
 }

@@ -7,6 +7,7 @@ package indextest
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"learnedpieces/internal/dataset"
@@ -16,25 +17,27 @@ import (
 // Factory builds an empty index under test.
 type Factory func() index.Index
 
-// RunAll runs every applicable conformance test, detecting optional
-// interfaces (Bulk, Scanner, Deleter) on a probe instance.
+// RunAll runs every applicable conformance test, gating the optional
+// parts on the capability descriptor of a probe instance (index.CapsOf,
+// which honours wrappers that mask capabilities via index.Capser).
 func RunAll(t *testing.T, name string, f Factory) {
 	t.Run(name+"/empty", func(t *testing.T) { testEmpty(t, f) })
 	t.Run(name+"/insert-get", func(t *testing.T) { testInsertGet(t, f) })
 	t.Run(name+"/update", func(t *testing.T) { testUpdate(t, f) })
 	t.Run(name+"/random-model", func(t *testing.T) { testRandomModel(t, f) })
-	probe := f()
-	if _, ok := probe.(index.Bulk); ok {
+	t.Run(name+"/caps", func(t *testing.T) { testCaps(t, f) })
+	caps := index.CapsOf(f())
+	if caps.Bulk {
 		t.Run(name+"/bulkload", func(t *testing.T) { testBulkLoad(t, f) })
 		t.Run(name+"/bulk-then-insert", func(t *testing.T) { testBulkThenInsert(t, f) })
 	}
-	if _, ok := probe.(index.Scanner); ok {
+	if caps.Scan {
 		t.Run(name+"/scan", func(t *testing.T) { testScan(t, f) })
 	}
-	if _, ok := probe.(index.Deleter); ok {
+	if caps.Delete {
 		t.Run(name+"/delete", func(t *testing.T) { testDelete(t, f) })
 	}
-	if _, ok := probe.(index.Sized); ok {
+	if caps.Sized {
 		t.Run(name+"/sizes", func(t *testing.T) { testSizes(t, f) })
 	}
 }
@@ -74,12 +77,146 @@ func RunReadOnly(t *testing.T, name string, f Factory) {
 			}
 		}
 	})
-	probe := f()
-	if _, ok := probe.(index.Scanner); ok {
+	t.Run(name+"/caps", func(t *testing.T) { testCaps(t, f) })
+	caps := index.CapsOf(f())
+	if caps.Scan {
 		t.Run(name+"/scan", func(t *testing.T) { testScan(t, f) })
 	}
-	if _, ok := probe.(index.Sized); ok {
+	if caps.Sized {
 		t.Run(name+"/sizes", func(t *testing.T) { testSizes(t, f) })
+	}
+}
+
+// testCaps checks that the capability descriptor matches reality: every
+// capability CapsOf reports true must be backed by a working interface,
+// and a masked Scan (reported false while the method exists) must visit
+// nothing instead of returning wrong results.
+func testCaps(t *testing.T, f Factory) {
+	idx := f()
+	caps := index.CapsOf(idx)
+	keys := dataset.Generate(dataset.YCSBUniform, 1000, 81)
+
+	// Load through the advertised write path.
+	switch {
+	case caps.Bulk:
+		b, ok := idx.(index.Bulk)
+		if !ok {
+			t.Fatal("caps report Bulk but index.Bulk is not implemented")
+		}
+		if err := b.BulkLoad(keys, keys); err != nil {
+			t.Fatalf("advertised bulk load failed: %v", err)
+		}
+	default:
+		for _, k := range keys {
+			if err := idx.Insert(k, k); err != nil {
+				t.Fatalf("insert(%d): %v", k, err)
+			}
+		}
+	}
+	for _, k := range keys[:100] {
+		if v, ok := idx.Get(k); !ok || v != k {
+			t.Fatalf("get(%d) = %d,%v after load", k, v, ok)
+		}
+	}
+
+	if sc, ok := idx.(index.Scanner); ok {
+		visited := 0
+		sc.Scan(0, 0, func(k, v uint64) bool { visited++; return true })
+		if caps.Scan && visited != len(keys) {
+			t.Fatalf("caps report Scan but full scan visited %d of %d", visited, len(keys))
+		}
+		if !caps.Scan && visited != 0 {
+			t.Fatalf("caps mask Scan but scan visited %d entries", visited)
+		}
+	} else if caps.Scan {
+		t.Fatal("caps report Scan but index.Scanner is not implemented")
+	}
+
+	if caps.Upsert {
+		up, ok := idx.(index.Upserter)
+		if !ok {
+			t.Fatal("caps report Upsert but index.Upserter is not implemented")
+		}
+		existed, err := up.InsertReplace(keys[0], 12345)
+		if err != nil || !existed {
+			t.Fatalf("InsertReplace(existing) = %v,%v", existed, err)
+		}
+		if v, _ := idx.Get(keys[0]); v != 12345 {
+			t.Fatalf("InsertReplace did not replace: %d", v)
+		}
+	}
+
+	if caps.Delete {
+		d, ok := idx.(index.Deleter)
+		if !ok {
+			t.Fatal("caps report Delete but index.Deleter is not implemented")
+		}
+		if !d.Delete(keys[1]) {
+			t.Fatal("advertised delete of a present key returned false")
+		}
+		if _, ok := idx.Get(keys[1]); ok {
+			t.Fatal("deleted key still present")
+		}
+	}
+
+	if caps.Sized {
+		sz, ok := index.SizesOf(idx)
+		if !ok {
+			t.Fatal("caps report Sized but SizesOf failed")
+		}
+		if sz.Keys < int64(idx.Len())*8 {
+			t.Fatalf("Keys size %d below raw key bytes", sz.Keys)
+		}
+	}
+	if caps.Depth {
+		if d, ok := index.DepthOf(idx); !ok || d < 0 {
+			t.Fatalf("caps report Depth but DepthOf = %v,%v", d, ok)
+		}
+	}
+	if caps.Retrain {
+		if c, ns, ok := index.RetrainStatsOf(idx); !ok || c < 0 || ns < 0 {
+			t.Fatalf("caps report Retrain but RetrainStatsOf = %d,%d,%v", c, ns, ok)
+		}
+	}
+
+	if caps.ConcurrentReads {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(keys); i += 4 {
+					idx.Get(keys[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	if caps.ConcurrentWrites {
+		fresh := f()
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(keys); i += 4 {
+					if err := fresh.Insert(keys[i], keys[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatalf("concurrent insert: %v", err)
+			}
+		}
+		if fresh.Len() != len(keys) {
+			t.Fatalf("concurrent inserts lost keys: Len = %d, want %d", fresh.Len(), len(keys))
+		}
 	}
 }
 

@@ -8,6 +8,8 @@ package rmi
 import (
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
@@ -40,6 +42,9 @@ type Index struct {
 	rootSlope     float64
 	rootIntercept float64
 	rootFirst     uint64
+
+	builds  atomic.Int64
+	buildNs atomic.Int64
 }
 
 // New returns an empty RMI; call BulkLoad before use.
@@ -59,6 +64,11 @@ func (ix *Index) Insert(key, value uint64) error { return index.ErrReadOnly }
 
 // BulkLoad trains the two stages over sorted distinct keys.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
+	t0 := time.Now()
+	defer func() {
+		ix.builds.Add(1)
+		ix.buildNs.Add(time.Since(t0).Nanoseconds())
+	}()
 	ix.keys = keys
 	ix.vals = values
 	if len(keys) == 0 {
@@ -269,6 +279,13 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 
 // AvgDepth reports the two model stages (Table II lists RMI as depth 2).
 func (ix *Index) AvgDepth() float64 { return 2 }
+
+// RetrainStats implements index.RetrainReporter. RMI has no incremental
+// retraining strategy, so each "retrain" is a full BulkLoad — the model
+// (re)build the recovery path pays (Fig 16).
+func (ix *Index) RetrainStats() (count, totalNs int64) {
+	return ix.builds.Load(), ix.buildNs.Load()
+}
 
 // Sizes reports the footprint: models are structure, the sorted arrays
 // are keys/values.

@@ -9,6 +9,8 @@ package rs
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
@@ -37,6 +39,9 @@ type Index struct {
 	table  []int32 // radix prefix -> first spline index with that prefix
 	shift  uint
 	eps    int
+
+	builds  atomic.Int64
+	buildNs atomic.Int64
 }
 
 // New returns an empty RadixSpline; call BulkLoad before use.
@@ -56,6 +61,11 @@ func (ix *Index) Insert(key, value uint64) error { return index.ErrReadOnly }
 
 // BulkLoad builds the spline and radix table in one pass over the keys.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
+	t0 := time.Now()
+	defer func() {
+		ix.builds.Add(1)
+		ix.buildNs.Add(time.Since(t0).Nanoseconds())
+	}()
 	ix.keys = keys
 	ix.vals = values
 	if len(keys) == 0 {
@@ -174,6 +184,13 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 
 // AvgDepth reports one table probe plus the spline stage.
 func (ix *Index) AvgDepth() float64 { return 2 }
+
+// RetrainStats implements index.RetrainReporter. RadixSpline has no
+// incremental retraining, so each "retrain" is a full single-pass build —
+// the fastest in the repository, which drives its Fig 16 recovery win.
+func (ix *Index) RetrainStats() (count, totalNs int64) {
+	return ix.builds.Load(), ix.buildNs.Load()
+}
 
 // Sizes reports the footprint: table + knots are structure.
 func (ix *Index) Sizes() index.Sizes {

@@ -63,6 +63,22 @@ type Region struct {
 	reads   atomic.Int64
 	writes  atomic.Int64
 	flushes atomic.Int64
+	// Device-level accounting: 256-byte lines touched and injected stall
+	// nanoseconds actually paid. All counters are region-local; an
+	// observability sink pulls them through AccessStats rather than being
+	// pushed per access, so accounting costs one uncontended atomic add.
+	lineReads    atomic.Int64
+	lineWrites   atomic.Int64
+	readStallNs  atomic.Int64
+	writeStallNs atomic.Int64
+}
+
+// AccessStats is the region's cumulative device accounting, the shape a
+// telemetry probe reads (counts since creation, monotone).
+type AccessStats struct {
+	Reads, Writes, Flushes    int64
+	LineReads, LineWrites     int64
+	ReadStallNs, WriteStallNs int64
 }
 
 // ErrOutOfSpace is returned when an allocation exceeds the region size.
@@ -82,6 +98,21 @@ func (r *Region) Allocated() int64 { return atomic.LoadInt64(&r.head) }
 // SetLatency swaps the latency model (used by the ablation bench). It
 // must not be called concurrently with accesses.
 func (r *Region) SetLatency(lat LatencyModel) { r.lat = lat }
+
+// AccessStats returns every device counter at once (reads concurrent
+// with accesses see a consistent-enough view: each counter is loaded
+// once, all monotone).
+func (r *Region) AccessStats() AccessStats {
+	return AccessStats{
+		Reads:        r.reads.Load(),
+		Writes:       r.writes.Load(),
+		Flushes:      r.flushes.Load(),
+		LineReads:    r.lineReads.Load(),
+		LineWrites:   r.lineWrites.Load(),
+		ReadStallNs:  r.readStallNs.Load(),
+		WriteStallNs: r.writeStallNs.Load(),
+	}
+}
 
 // Alloc reserves size bytes and returns their offset, reusing a freed
 // chunk of the same size when one exists.
@@ -140,25 +171,39 @@ func blocks(n int) int64 {
 	return int64((n + blockSize - 1) / blockSize)
 }
 
-// charge pays latency for the blocks [off, off+n) touches, skipping the
-// charge when the access stays inside the most recently touched block.
-func (r *Region) charge(off int64, n int, perBlock int64) {
+// charge accounts the 256-byte lines [off, off+n) touches and pays the
+// injected latency, skipping the stall when the access stays inside the
+// most recently touched block (block-buffer hit) or the model is
+// disabled — lines are counted either way, stall only when paid.
+func (r *Region) charge(off int64, n int, perBlock int64, write bool) {
+	first := off / blockSize
+	last := (off + int64(n) - 1) / blockSize
+	lines := last - first + 1
+	if write {
+		r.lineWrites.Add(lines)
+	} else {
+		r.lineReads.Add(lines)
+	}
 	if perBlock <= 0 {
 		return
 	}
-	first := off / blockSize
-	last := (off + int64(n) - 1) / blockSize
 	if first == last && r.lastBlock.Load() == first+1 {
 		return // block-buffer hit
 	}
-	spin((last - first + 1) * perBlock)
+	stall := lines * perBlock
+	spin(stall)
 	r.lastBlock.Store(last + 1)
+	if write {
+		r.writeStallNs.Add(stall)
+	} else {
+		r.readStallNs.Add(stall)
+	}
 }
 
 // Read copies len(buf) bytes at off into buf, paying read latency.
 func (r *Region) Read(off int64, buf []byte) {
 	r.reads.Add(1)
-	r.charge(off, len(buf), r.lat.ReadNs)
+	r.charge(off, len(buf), r.lat.ReadNs, false)
 	copy(buf, r.data[off:off+int64(len(buf))])
 }
 
@@ -166,14 +211,14 @@ func (r *Region) Read(off int64, buf []byte) {
 // The view must not be modified.
 func (r *Region) ReadNoCopy(off int64, n int) []byte {
 	r.reads.Add(1)
-	r.charge(off, n, r.lat.ReadNs)
+	r.charge(off, n, r.lat.ReadNs, false)
 	return r.data[off : off+int64(n)]
 }
 
 // Write stores data at off, paying write latency.
 func (r *Region) Write(off int64, data []byte) {
 	r.writes.Add(1)
-	r.charge(off, len(data), r.lat.WriteNs)
+	r.charge(off, len(data), r.lat.WriteNs, true)
 	copy(r.data[off:], data)
 }
 

@@ -56,7 +56,66 @@ func New(factory func() index.Index, boundaries []uint64) *Index {
 // CanScan implements index.ScanChecker: every shard comes from the same
 // factory, so checking one probe instance decides the capability for the
 // whole wrapper.
+//
+// Deprecated: consult index.CapsOf(s).Scan (fed by Caps) instead.
 func (s *Index) CanScan() bool { return s.scannable }
+
+// Caps implements index.Capser, which is what lets the wrapper *mask*
+// capabilities instead of over-promising them: the wrapper's methods
+// exist unconditionally (Scan, Delete, ... no-op politely when the inner
+// type lacks them), so plain interface probing would report every
+// capability as present. The descriptor advertises the wrapper's own
+// surface (bulk, upsert, concurrent access) and defers the rest to a
+// probe shard — one factory, so one probe decides for all shards.
+func (s *Index) Caps() index.Caps {
+	inner := index.CapsOf(s.shards[0].idx)
+	return index.Caps{
+		Bulk:             true, // per-shard bulk load with insert fallback
+		Upsert:           true, // check+insert under the shard lock
+		Scan:             s.scannable,
+		Delete:           inner.Delete,
+		Sized:            inner.Sized,
+		Depth:            inner.Depth,
+		Retrain:          inner.Retrain,
+		ConcurrentReads:  true,
+		ConcurrentWrites: true,
+	}
+}
+
+// AvgDepth reports the Len-weighted average shard depth, zero when the
+// inner index type does not report depth (Caps masks Depth then).
+func (s *Index) AvgDepth() float64 {
+	var sum float64
+	var n int
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if d, ok := sh.idx.(index.DepthReporter); ok {
+			l := sh.idx.Len()
+			sum += d.AvgDepth() * float64(l)
+			n += l
+		}
+		sh.mu.RUnlock()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RetrainStats sums the shards' retraining counters (zero when the inner
+// index type does not report them; Caps masks Retrain then).
+func (s *Index) RetrainStats() (count, totalNs int64) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if r, ok := sh.idx.(index.RetrainReporter); ok {
+			c, ns := r.RetrainStats()
+			count += c
+			totalNs += ns
+		}
+		sh.mu.RUnlock()
+	}
+	return count, totalNs
+}
 
 // Name implements index.Index.
 func (s *Index) Name() string { return s.name }

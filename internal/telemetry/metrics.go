@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"learnedpieces/internal/index"
+)
+
+// Default sampling rates, chosen so the enabled hot paths stay within
+// the 5% overhead budget DESIGN.md records: Get is the highest-volume
+// path (two clock reads per sample would otherwise dominate its
+// DRAM-resident cost), Put is slower per op so it can afford a denser
+// sample, and the rare long operations are always timed.
+const (
+	// GetSample times one in this many Gets.
+	GetSample = 64
+	// PutSample times one in this many Puts.
+	PutSample = 8
+)
+
+// StoreMetrics is the always-on instrumentation of one (or several —
+// counters aggregate) Viper stores: per-op latency plus the structural
+// events the paper's figures decompose (page rollovers feeding write
+// amplification, tombstones feeding space overhead, recovery and
+// compaction durations feeding Fig 16).
+type StoreMetrics struct {
+	Put      *Recorder
+	Get      *Recorder
+	Delete   *Recorder
+	Scan     *Recorder
+	MultiGet *Recorder // one observation per batch
+
+	GetMisses     Counter
+	MultiGetKeys  Counter
+	PageRollovers Counter
+	Tombstones    Counter
+	LiveKeys      Gauge
+
+	Recovery   DurationMeter
+	Compaction DurationMeter
+	BulkLoad   DurationMeter
+}
+
+func newStoreMetrics() *StoreMetrics {
+	shards := defaultShards()
+	return &StoreMetrics{
+		Put:      NewRecorder(shards, PutSample),
+		Get:      NewRecorder(shards, GetSample),
+		Delete:   NewRecorder(shards, 1),
+		Scan:     NewRecorder(shards, 1),
+		MultiGet: NewRecorder(shards, 1),
+	}
+}
+
+// The Start* helpers are the store's hot-path entry points. A nil
+// *StoreMetrics is the disabled sink: every helper degenerates to one
+// branch and the returned zero Span records nothing.
+
+// StartPut counts a Put and starts its (sampled) latency clock.
+func (m *StoreMetrics) StartPut(stripe uint64) Span {
+	if m == nil {
+		return Span{}
+	}
+	return m.Put.Start(stripe)
+}
+
+// StartGet counts a Get and starts its (sampled) latency clock.
+func (m *StoreMetrics) StartGet(stripe uint64) Span {
+	if m == nil {
+		return Span{}
+	}
+	return m.Get.Start(stripe)
+}
+
+// StartDelete counts a Delete and starts its latency clock.
+func (m *StoreMetrics) StartDelete(stripe uint64) Span {
+	if m == nil {
+		return Span{}
+	}
+	return m.Delete.Start(stripe)
+}
+
+// StartScan counts a Scan and starts its latency clock.
+func (m *StoreMetrics) StartScan(stripe uint64) Span {
+	if m == nil {
+		return Span{}
+	}
+	return m.Scan.Start(stripe)
+}
+
+// StartMultiGet counts one batch of n keys and starts its latency clock.
+func (m *StoreMetrics) StartMultiGet(n int) Span {
+	if m == nil {
+		return Span{}
+	}
+	m.MultiGetKeys.Add(int64(n))
+	return m.MultiGet.Start(uint64(n))
+}
+
+// GetMiss counts a Get that found no live record.
+func (m *StoreMetrics) GetMiss() {
+	if m != nil {
+		m.GetMisses.Inc()
+	}
+}
+
+// PageRollover counts a page allocation on the append path.
+func (m *StoreMetrics) PageRollover() {
+	if m != nil {
+		m.PageRollovers.Inc()
+	}
+}
+
+// Tombstone counts an appended delete marker.
+func (m *StoreMetrics) Tombstone() {
+	if m != nil {
+		m.Tombstones.Inc()
+	}
+}
+
+// LiveDelta moves the live-key gauge.
+func (m *StoreMetrics) LiveDelta(d int64) {
+	if m != nil {
+		m.LiveKeys.Add(d)
+	}
+}
+
+// ObserveRecovery times one index-rebuild-from-pages pass.
+func (m *StoreMetrics) ObserveRecovery(d time.Duration) {
+	if m != nil {
+		m.Recovery.Observe(d)
+	}
+}
+
+// ObserveCompaction times one space-reclamation pass.
+func (m *StoreMetrics) ObserveCompaction(d time.Duration) {
+	if m != nil {
+		m.Compaction.Observe(d)
+	}
+}
+
+// ObserveBulkLoad times one bulk initialisation.
+func (m *StoreMetrics) ObserveBulkLoad(d time.Duration) {
+	if m != nil {
+		m.BulkLoad.Observe(d)
+	}
+}
+
+// IndexStats is the uniform per-index digest the capability API makes
+// possible: one shape for all twelve indexes, with zero values where a
+// capability is absent.
+type IndexStats struct {
+	Name     string      `json:"name"`
+	Len      int         `json:"len"`
+	Caps     index.Caps  `json:"caps"`
+	Sizes    index.Sizes `json:"sizes"`
+	AvgDepth float64     `json:"avg_depth"`
+	// RetrainCount / RetrainNs surface RetrainReporter (Fig 18):
+	// model rebuilds, node splits/merges, and for the read-only indexes
+	// (RMI, RS) the full (re)build the recovery path pays.
+	RetrainCount int64 `json:"retrain_count"`
+	RetrainNs    int64 `json:"retrain_ns"`
+}
+
+// CollectIndexStats digests idx through the capability API.
+func CollectIndexStats(idx index.Index) IndexStats {
+	st := IndexStats{Name: idx.Name(), Len: idx.Len(), Caps: index.CapsOf(idx)}
+	st.Sizes, _ = index.SizesOf(idx)
+	st.AvgDepth, _ = index.DepthOf(idx)
+	st.RetrainCount, st.RetrainNs, _ = index.RetrainStatsOf(idx)
+	return st
+}
+
+// Sink is the process-wide aggregation point. Stores attach with
+// viper.WithTelemetry; their shared counters live in Store. The
+// simulated device and the index are observed by pulling, not pushing:
+// the sink keeps at most one live probe of each (the most recently
+// attached store's), reads it at snapshot time, and folds a retiring
+// probe's final values into cumulative state when it is replaced — so
+// the device and index hot paths pay nothing for the sink, and the sink
+// never owns retired stores or their multi-hundred-MB regions.
+type Sink struct {
+	Store *StoreMetrics
+
+	mu        sync.Mutex
+	indexes   map[string]IndexStats
+	probe     func() IndexStats
+	pmem      PMemSnapshot // folded totals of retired regions
+	pmemProbe func() PMemSnapshot
+}
+
+// New returns an enabled sink.
+func New() *Sink {
+	return &Sink{
+		Store:   newStoreMetrics(),
+		indexes: make(map[string]IndexStats),
+	}
+}
+
+// StoreSink returns the store-side metrics, nil when the sink itself is
+// nil — which is how a disabled sink propagates to the hot paths.
+func (s *Sink) StoreSink() *StoreMetrics {
+	if s == nil {
+		return nil
+	}
+	return s.Store
+}
+
+// SetPMemProbe installs the live device probe. The previous probe, if
+// any, is read one final time and folded into the sink's cumulative
+// device totals, so counters aggregate across store generations. Safe
+// on a nil sink.
+func (s *Sink) SetPMemProbe(p func() PMemSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	old := s.pmemProbe
+	s.pmemProbe = p
+	s.mu.Unlock()
+	if old != nil {
+		final := old()
+		s.mu.Lock()
+		s.pmem = s.pmem.add(final)
+		s.mu.Unlock()
+	}
+}
+
+// ObserveIndex records the current digest of idx (latest observation
+// per index name wins). Safe on a nil sink.
+func (s *Sink) ObserveIndex(idx index.Index) {
+	if s == nil {
+		return
+	}
+	st := CollectIndexStats(idx)
+	s.mu.Lock()
+	s.indexes[st.Name] = st
+	s.mu.Unlock()
+}
+
+// SetProbe installs the live index probe. The previous probe, if any, is
+// invoked one final time so the retiring store's index contributes its
+// final counters before the sink forgets it. Safe on a nil sink.
+func (s *Sink) SetProbe(p func() IndexStats) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	old := s.probe
+	s.probe = p
+	s.mu.Unlock()
+	if old != nil {
+		s.record(old())
+	}
+}
+
+func (s *Sink) record(st IndexStats) {
+	s.mu.Lock()
+	s.indexes[st.Name] = st
+	s.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/stats"
+)
+
+// WriteText renders the snapshot as aligned plain-text tables through
+// the stats renderer — the same layout the bench harness prints, so the
+// vipercli `stats` command and the /telemetry/table endpoint read like
+// the rest of the repo's output.
+func (sn Snapshot) WriteText(w io.Writer) {
+	ops := stats.NewTable("store operations",
+		"op", "ops", "sampled", "mean(ns)", "p50(ns)", "p99(ns)", "p99.9(ns)", "max(ns)")
+	addOp := func(name string, o OpSnapshot) {
+		if o.Ops == 0 {
+			return
+		}
+		ops.AddRow(name, o.Ops, o.Sampled, o.MeanNs, o.P50Ns, o.P99Ns, o.P999Ns, o.MaxNs)
+	}
+	addOp("put", sn.Store.Put)
+	addOp("get", sn.Store.Get)
+	addOp("delete", sn.Store.Delete)
+	addOp("scan", sn.Store.Scan)
+	addOp("multiget", sn.Store.MultiGet)
+	ops.Render(w)
+
+	ev := stats.NewTable("store events", "event", "value")
+	ev.AddRow("get misses", sn.Store.GetMisses)
+	ev.AddRow("multiget keys", sn.Store.MultiGetKeys)
+	ev.AddRow("page rollovers", sn.Store.PageRollovers)
+	ev.AddRow("tombstones", sn.Store.Tombstones)
+	ev.AddRow("live keys", sn.Store.LiveKeys)
+	addPhase := func(name string, p PhaseSnapshot) {
+		ev.AddRow(name+" count", p.Count)
+		ev.AddRow(name+" time", time.Duration(p.TotalNs))
+	}
+	addPhase("recovery", sn.Store.Recovery)
+	addPhase("compaction", sn.Store.Compaction)
+	addPhase("bulk load", sn.Store.BulkLoad)
+	fmt.Fprintln(w)
+	ev.Render(w)
+
+	pm := stats.NewTable("simulated pmem", "metric", "value")
+	pm.AddRow("reads", sn.PMem.Reads)
+	pm.AddRow("writes", sn.PMem.Writes)
+	pm.AddRow("flushes", sn.PMem.Flushes)
+	pm.AddRow("line reads (256B)", sn.PMem.LineReads)
+	pm.AddRow("line writes (256B)", sn.PMem.LineWrites)
+	pm.AddRow("read stall", time.Duration(sn.PMem.ReadStallNs))
+	pm.AddRow("write stall", time.Duration(sn.PMem.WriteStallNs))
+	fmt.Fprintln(w)
+	pm.Render(w)
+
+	if len(sn.Indexes) == 0 {
+		return
+	}
+	idx := stats.NewTable("indexes",
+		"index", "len", "caps", "structure(B)", "keys(B)", "depth", "retrains", "retrain time")
+	for _, st := range sn.Indexes {
+		idx.AddRow(st.Name, st.Len, capsString(st.Caps), st.Sizes.Structure, st.Sizes.Keys,
+			fmt.Sprintf("%.2f", st.AvgDepth), st.RetrainCount, time.Duration(st.RetrainNs))
+	}
+	fmt.Fprintln(w)
+	idx.Render(w)
+}
+
+// capsString is the compact capability legend used in the index table:
+// one letter per capability (Bulk Scan Delete Upsert sIzed dePth
+// Retrain / concurrent r/w), '-' when absent.
+func capsString(c index.Caps) string {
+	out := make([]byte, 0, 9)
+	mark := func(on bool, ch byte) {
+		if on {
+			out = append(out, ch)
+		} else {
+			out = append(out, '-')
+		}
+	}
+	mark(c.Bulk, 'B')
+	mark(c.Scan, 'S')
+	mark(c.Delete, 'D')
+	mark(c.Upsert, 'U')
+	mark(c.Sized, 'I')
+	mark(c.Depth, 'P')
+	mark(c.Retrain, 'R')
+	mark(c.ConcurrentReads, 'r')
+	mark(c.ConcurrentWrites, 'w')
+	return string(out)
+}

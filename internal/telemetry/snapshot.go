@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// OpSnapshot is the digest of one operation class: total ops, how many
+// were latency-sampled, and the sampled distribution.
+type OpSnapshot struct {
+	Ops     int64   `json:"ops"`
+	Sampled int64   `json:"sampled"`
+	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	P999Ns  int64   `json:"p999_ns"`
+	MaxNs   int64   `json:"max_ns"`
+}
+
+// PhaseSnapshot is the digest of a rare heavyweight phase.
+type PhaseSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+}
+
+// StoreSnapshot is the store section of a Snapshot.
+type StoreSnapshot struct {
+	Put      OpSnapshot `json:"put"`
+	Get      OpSnapshot `json:"get"`
+	Delete   OpSnapshot `json:"delete"`
+	Scan     OpSnapshot `json:"scan"`
+	MultiGet OpSnapshot `json:"multiget"`
+
+	GetMisses     int64 `json:"get_misses"`
+	MultiGetKeys  int64 `json:"multiget_keys"`
+	PageRollovers int64 `json:"page_rollovers"`
+	Tombstones    int64 `json:"tombstones"`
+	LiveKeys      int64 `json:"live_keys"`
+
+	Recovery   PhaseSnapshot `json:"recovery"`
+	Compaction PhaseSnapshot `json:"compaction"`
+	BulkLoad   PhaseSnapshot `json:"bulk_load"`
+}
+
+// PMemSnapshot is the simulated device section of a Snapshot: access and
+// 256-byte line counts plus the injected (stall) nanoseconds, which is
+// what makes the Optane model's cost visible next to the index cost —
+// the paper's "is the bottleneck the NVM or the index?" question, live.
+// It doubles as the value type device probes return to the sink.
+type PMemSnapshot struct {
+	Reads   int64 `json:"reads"`
+	Writes  int64 `json:"writes"`
+	Flushes int64 `json:"flushes"`
+	// LineReads / LineWrites count 256-byte device lines touched.
+	LineReads  int64 `json:"line_reads"`
+	LineWrites int64 `json:"line_writes"`
+	// ReadStallNs / WriteStallNs are the injected latency actually paid
+	// (block-buffer hits and disabled models pay nothing).
+	ReadStallNs  int64 `json:"read_stall_ns"`
+	WriteStallNs int64 `json:"write_stall_ns"`
+}
+
+func (p PMemSnapshot) add(o PMemSnapshot) PMemSnapshot {
+	p.Reads += o.Reads
+	p.Writes += o.Writes
+	p.Flushes += o.Flushes
+	p.LineReads += o.LineReads
+	p.LineWrites += o.LineWrites
+	p.ReadStallNs += o.ReadStallNs
+	p.WriteStallNs += o.WriteStallNs
+	return p
+}
+
+// Snapshot is the structured, JSON-stable view of a Sink at one instant.
+// It is what the -obs HTTP endpoint serves, what libench writes as
+// BENCH_*.json, and what the plain-text table renders. All fields are
+// plain values so a Snapshot round-trips through JSON losslessly.
+type Snapshot struct {
+	TakenUnixNs int64         `json:"taken_unix_ns"`
+	Store       StoreSnapshot `json:"store"`
+	PMem        PMemSnapshot  `json:"pmem"`
+	Indexes     []IndexStats  `json:"indexes"`
+}
+
+// Snapshot digests the sink. Recording may continue concurrently; the
+// result is consistent enough for reporting (each counter is read once,
+// histograms are merged copies). Returns the zero Snapshot on nil.
+func (s *Sink) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	// Pull the live probes first: fold the index probe into the map and
+	// add the live region's counters on top of the retired totals.
+	s.mu.Lock()
+	probe := s.probe
+	pmemProbe := s.pmemProbe
+	pm := s.pmem
+	s.mu.Unlock()
+	if probe != nil {
+		s.record(probe())
+	}
+	if pmemProbe != nil {
+		pm = pm.add(pmemProbe())
+	}
+
+	m := s.Store
+	snap := Snapshot{
+		TakenUnixNs: time.Now().UnixNano(),
+		Store: StoreSnapshot{
+			Put:           m.Put.snapshot(),
+			Get:           m.Get.snapshot(),
+			Delete:        m.Delete.snapshot(),
+			Scan:          m.Scan.snapshot(),
+			MultiGet:      m.MultiGet.snapshot(),
+			GetMisses:     m.GetMisses.Load(),
+			MultiGetKeys:  m.MultiGetKeys.Load(),
+			PageRollovers: m.PageRollovers.Load(),
+			Tombstones:    m.Tombstones.Load(),
+			LiveKeys:      m.LiveKeys.Load(),
+			Recovery:      m.Recovery.snapshot(),
+			Compaction:    m.Compaction.snapshot(),
+			BulkLoad:      m.BulkLoad.snapshot(),
+		},
+		PMem: pm,
+	}
+	s.mu.Lock()
+	for _, st := range s.indexes {
+		snap.Indexes = append(snap.Indexes, st)
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Indexes, func(i, j int) bool { return snap.Indexes[i].Name < snap.Indexes[j].Name })
+	return snap
+}
+
+// MarshalJSON-free helpers: the snapshot is plain data, so the stdlib
+// encoder round-trips it exactly (ParseSnapshot inverts WriteJSON).
+
+// WriteJSON writes the snapshot as indented JSON.
+func (sn Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// ParseSnapshot decodes a snapshot previously produced by WriteJSON.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var sn Snapshot
+	err := json.Unmarshal(data, &sn)
+	return sn, err
+}

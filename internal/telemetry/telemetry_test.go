@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"learnedpieces/internal/index"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestRecorderCountsAndSamples(t *testing.T) {
+	r := NewRecorder(4, 8)
+	for i := 0; i < 800; i++ {
+		sp := r.Start(uint64(i))
+		sp.Done()
+	}
+	if r.Ops() != 800 {
+		t.Fatalf("ops = %d, want 800", r.Ops())
+	}
+	sampled := r.Merged().Count()
+	if sampled != 800/8 {
+		t.Fatalf("sampled = %d, want %d", sampled, 800/8)
+	}
+	// sample<=1 records everything.
+	full := NewRecorder(1, 1)
+	full.Start(0).Done()
+	full.Observe(0, 1234)
+	if full.Ops() != 2 || full.Merged().Count() != 2 {
+		t.Fatalf("full recorder ops=%d sampled=%d", full.Ops(), full.Merged().Count())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Start(1).Done()
+	r.Observe(2, 3)
+	if r.Ops() != 0 || r.Merged().Count() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestNilStoreMetricsIsInert(t *testing.T) {
+	var m *StoreMetrics
+	m.StartPut(1).Done()
+	m.StartGet(1).Done()
+	m.StartDelete(1).Done()
+	m.StartScan(1).Done()
+	m.StartMultiGet(5).Done()
+	m.GetMiss()
+	m.PageRollover()
+	m.Tombstone()
+	m.LiveDelta(1)
+	var s *Sink
+	if s.StoreSink() != nil {
+		t.Fatal("nil sink must hand out nil metrics")
+	}
+	s.ObserveIndex(nil)
+	s.SetProbe(nil)
+	s.SetPMemProbe(nil)
+	if got := s.Snapshot(); got.Store.Put.Ops != 0 {
+		t.Fatal("nil sink snapshot must be zero")
+	}
+}
+
+// TestRecorderConcurrent is the -race test of the sharded hot path:
+// writers on every stripe with concurrent merges and reads.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8, 4)
+	const workers = 8
+	const perWorker = 5000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Merged()
+				r.Ops()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := r.Start(uint64(w))
+				sp.Done()
+				r.Observe(uint64(w)*31+uint64(i), int64(i))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := r.Ops(); got != int64(workers*perWorker*2) {
+		t.Fatalf("ops = %d, want %d", got, workers*perWorker*2)
+	}
+}
+
+// TestSinkConcurrent drives store metrics, index observations and
+// snapshots from many goroutines under -race.
+func TestSinkConcurrent(t *testing.T) {
+	s := New()
+	var lineReads atomic.Int64
+	s.SetPMemProbe(func() PMemSnapshot { return PMemSnapshot{LineReads: lineReads.Load()} })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := s.StoreSink()
+			for i := 0; i < 2000; i++ {
+				m.StartPut(uint64(i)).Done()
+				sp := m.StartGet(uint64(i))
+				sp.Done()
+				m.GetMiss()
+				m.LiveDelta(1)
+				lineReads.Add(2)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.ObserveIndex(fakeIdx{})
+			_ = s.Snapshot()
+		}
+	}()
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Store.Put.Ops != 8000 || snap.Store.Get.Ops != 8000 {
+		t.Fatalf("put=%d get=%d, want 8000 each", snap.Store.Put.Ops, snap.Store.Get.Ops)
+	}
+	if snap.Store.GetMisses != 8000 || snap.Store.LiveKeys != 8000 {
+		t.Fatalf("misses=%d live=%d", snap.Store.GetMisses, snap.Store.LiveKeys)
+	}
+	if snap.PMem.LineReads != 16000 {
+		t.Fatalf("line reads = %d", snap.PMem.LineReads)
+	}
+}
+
+type fakeIdx struct{}
+
+func (fakeIdx) Name() string                 { return "fake" }
+func (fakeIdx) Get(uint64) (uint64, bool)    { return 0, false }
+func (fakeIdx) Insert(k, v uint64) error     { return nil }
+func (fakeIdx) Len() int                     { return 7 }
+func (fakeIdx) AvgDepth() float64            { return 1.5 }
+func (fakeIdx) RetrainStats() (int64, int64) { return 2, 300 }
+func (fakeIdx) Sizes() index.Sizes           { return index.Sizes{Structure: 8, Keys: 56} }
+
+// TestSnapshotRoundTrip: Snapshot -> JSON -> Snapshot is lossless.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	m := s.StoreSink()
+	for i := 0; i < 500; i++ {
+		m.StartPut(uint64(i)).Done()
+		m.StartGet(uint64(i)).Done()
+	}
+	m.StartMultiGet(32).Done()
+	m.Tombstone()
+	m.PageRollover()
+	m.LiveDelta(499)
+	m.Recovery.Observe(12 * time.Millisecond)
+	m.Compaction.Observe(3 * time.Millisecond)
+	m.BulkLoad.Observe(5 * time.Millisecond)
+	s.SetPMemProbe(func() PMemSnapshot {
+		return PMemSnapshot{Reads: 10, LineWrites: 20, WriteStallNs: 12345}
+	})
+	s.ObserveIndex(fakeIdx{})
+
+	snap := s.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, snap)
+	}
+	// The JSON must be a flat, stable schema: spot-check a few keys.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"taken_unix_ns", "store", "pmem", "indexes"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("snapshot JSON missing %q", key)
+		}
+	}
+}
+
+func TestPMemProbeRetiresIntoTotals(t *testing.T) {
+	s := New()
+	s.SetPMemProbe(func() PMemSnapshot { return PMemSnapshot{Reads: 5, LineReads: 7} })
+	// Replacing the probe folds the retiring region's final counters in.
+	s.SetPMemProbe(func() PMemSnapshot { return PMemSnapshot{Reads: 2, WriteStallNs: 9} })
+	snap := s.Snapshot()
+	if snap.PMem.Reads != 7 || snap.PMem.LineReads != 7 || snap.PMem.WriteStallNs != 9 {
+		t.Fatalf("pmem totals = %+v, want retired+live", snap.PMem)
+	}
+}
+
+func TestProbeRetiresIntoIndexMap(t *testing.T) {
+	s := New()
+	s.SetProbe(func() IndexStats { return IndexStats{Name: "old", Len: 1} })
+	// Installing a new probe folds the old store's final stats in.
+	s.SetProbe(func() IndexStats { return IndexStats{Name: "new", Len: 2} })
+	snap := s.Snapshot()
+	if len(snap.Indexes) != 2 {
+		t.Fatalf("indexes = %+v, want old+new", snap.Indexes)
+	}
+	if snap.Indexes[0].Name != "new" || snap.Indexes[1].Name != "old" {
+		t.Fatalf("unexpected order/content: %+v", snap.Indexes)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	s := New()
+	m := s.StoreSink()
+	for i := 0; i < 100; i++ {
+		m.StartGet(uint64(i)).Done()
+	}
+	s.ObserveIndex(fakeIdx{})
+	var buf bytes.Buffer
+	s.Snapshot().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"store operations", "get", "simulated pmem", "indexes", "fake"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s := New()
+	s.StoreSink().StartGet(1).Done()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/telemetry")
+	if ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if _, err := ParseSnapshot([]byte(body)); err != nil {
+		t.Fatalf("/telemetry not a snapshot: %v", err)
+	}
+	body, _ = get("/telemetry/table")
+	if !strings.Contains(body, "store operations") {
+		t.Fatalf("/telemetry/table missing table: %s", body)
+	}
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "telemetry") {
+		t.Fatal("/debug/vars missing published telemetry var")
+	}
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

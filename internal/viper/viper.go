@@ -17,10 +17,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/telemetry"
 )
 
 const (
@@ -51,10 +53,60 @@ type Store struct {
 	region *pmem.Region
 	idx    index.Index
 
+	// Capability surface of the current index, resolved once by setIndex
+	// instead of once per operation: the Caps descriptor for callers and
+	// the typed seams the hot paths dispatch through.
+	caps    index.Caps
+	up      index.Upserter
+	del     index.Deleter
+	scanner index.Scanner
+	bulk    index.Bulk
+
+	// Options.
+	maxWorkers int
+	valueSize  int
+	sink       *telemetry.Sink
+	met        *telemetry.StoreMetrics // nil = telemetry disabled
+
 	cur     atomic.Pointer[page]
 	mu      sync.Mutex // page rollover, deletes, recovery
 	pages   []int64    // all page offsets, in allocation order
 	liveLen atomic.Int64
+}
+
+// Option configures a Store at Open time.
+type Option func(*Store)
+
+// WithWorkers caps the fan-out of the store's bulk paths (bulk load,
+// page-parallel recovery scans, compaction copies) at n goroutines.
+// n <= 0 keeps the default (the parallel package's global setting,
+// GOMAXPROCS unless overridden).
+func WithWorkers(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.maxWorkers = n
+		}
+	}
+}
+
+// WithTelemetry attaches the store, its PMem region and its index to
+// sink: operation latencies and structural events flow into the sink's
+// shared counters, and the sink's live index probe follows this store's
+// current index. A nil sink leaves telemetry disabled (the default).
+func WithTelemetry(sink *telemetry.Sink) Option {
+	return func(s *Store) { s.sink = sink }
+}
+
+// WithValueSize declares the nominal record payload in bytes (the paper
+// uses 200). It sizes the shared payload BulkPut synthesises when called
+// with a nil value and is reported by ValueSize; explicit values of any
+// length remain accepted. n <= 0 keeps DefaultValueSize.
+func WithValueSize(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.valueSize = n
+		}
+	}
 }
 
 // Errors returned by Store operations.
@@ -64,18 +116,76 @@ var (
 )
 
 // Open creates a store over the region using idx as the volatile index.
-func Open(region *pmem.Region, idx index.Index) *Store {
-	return &Store{region: region, idx: idx}
+func Open(region *pmem.Region, idx index.Index, opts ...Option) *Store {
+	s := &Store{region: region, valueSize: DefaultValueSize}
+	s.setIndex(idx)
+	for _, o := range opts {
+		o(s)
+	}
+	if s.sink != nil {
+		s.met = s.sink.StoreSink()
+		s.sink.SetPMemProbe(func() telemetry.PMemSnapshot {
+			a := region.AccessStats()
+			return telemetry.PMemSnapshot{
+				Reads: a.Reads, Writes: a.Writes, Flushes: a.Flushes,
+				LineReads: a.LineReads, LineWrites: a.LineWrites,
+				ReadStallNs: a.ReadStallNs, WriteStallNs: a.WriteStallNs,
+			}
+		})
+		s.sink.SetProbe(func() telemetry.IndexStats {
+			s.mu.Lock()
+			cur := s.idx
+			s.mu.Unlock()
+			return telemetry.CollectIndexStats(cur)
+		})
+	}
+	return s
+}
+
+// setIndex installs idx and re-resolves its capability surface. Callers
+// on mutation paths hold s.mu; the lock-free readers tolerate the swap
+// under the store's stop-the-world recovery/compaction contract.
+func (s *Store) setIndex(idx index.Index) {
+	s.idx = idx
+	s.caps = index.CapsOf(idx)
+	s.up, _ = idx.(index.Upserter)
+	s.del, _ = idx.(index.Deleter)
+	s.scanner, _ = idx.(index.Scanner)
+	s.bulk, _ = idx.(index.Bulk)
 }
 
 // Index exposes the volatile index (for stats such as Sizes).
 func (s *Store) Index() index.Index { return s.idx }
 
+// Caps reports the capability descriptor of the current index.
+func (s *Store) Caps() index.Caps { return s.caps }
+
 // Region exposes the PMem region (for stats).
 func (s *Store) Region() *pmem.Region { return s.region }
 
+// Metrics returns the store's telemetry, nil when disabled.
+func (s *Store) Metrics() *telemetry.StoreMetrics { return s.met }
+
+// ValueSize reports the nominal record payload configured at Open.
+func (s *Store) ValueSize() int { return s.valueSize }
+
 // Len returns the number of live keys.
 func (s *Store) Len() int { return int(s.liveLen.Load()) }
+
+// workerCount is parallel.Workers capped by the WithWorkers option.
+func (s *Store) workerCount(units int) int {
+	w := parallel.Workers(units)
+	if s.maxWorkers > 0 && w > s.maxWorkers {
+		w = s.maxWorkers
+	}
+	return w
+}
+
+// stripe spreads keys across recorder shards: a Fibonacci hash whose top
+// bits (the well-mixed ones) land in the recorder's low mask bits.
+func stripe(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 56
+}
 
 // claim reserves n bytes in the current page, rolling over to a fresh
 // page when full (the claimed tail of a full page is abandoned; its
@@ -103,6 +213,7 @@ func (s *Store) claim(n int) (int64, error) {
 			np := &page{off: off}
 			s.pages = append(s.pages, off)
 			s.cur.Store(np)
+			s.met.PageRollover()
 		}
 		s.mu.Unlock()
 	}
@@ -139,13 +250,15 @@ func (s *Store) Put(key uint64, value []byte) error {
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
+	sp := s.met.StartPut(stripe(key))
+	defer sp.Done()
 	off, err := s.appendRecord(key, value, 0)
 	if err != nil {
 		return err
 	}
 	var existed bool
-	if up, ok := s.idx.(index.Upserter); ok {
-		existed, err = up.InsertReplace(key, uint64(off))
+	if s.up != nil {
+		existed, err = s.up.InsertReplace(key, uint64(off))
 	} else {
 		_, existed = s.idx.Get(key)
 		err = s.idx.Insert(key, uint64(off))
@@ -155,6 +268,7 @@ func (s *Store) Put(key uint64, value []byte) error {
 	}
 	if !existed {
 		s.liveLen.Add(1)
+		s.met.LiveDelta(1)
 	}
 	return nil
 }
@@ -162,16 +276,23 @@ func (s *Store) Put(key uint64, value []byte) error {
 // Get reads the value stored under key. The returned slice aliases the
 // region and must not be modified.
 func (s *Store) Get(key uint64) ([]byte, bool) {
+	sp := s.met.StartGet(stripe(key))
 	off, ok := s.idx.Get(key)
 	if !ok {
+		s.met.GetMiss()
+		sp.Done()
 		return nil, false
 	}
 	hdr := s.region.ReadNoCopy(int64(off), recordHeader)
 	vlen := binary.LittleEndian.Uint32(hdr[8:12])
 	if hdr[12]&flagDeleted != 0 {
+		s.met.GetMiss()
+		sp.Done()
 		return nil, false
 	}
-	return s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen)), true
+	v := s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen))
+	sp.Done()
+	return v, true
 }
 
 // MultiGet resolves the whole batch of keys against the volatile index
@@ -183,6 +304,8 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 // deleted; returned slices alias the region and must not be modified.
 // MultiGet is as safe for concurrent use as Get.
 func (s *Store) MultiGet(keys []uint64) [][]byte {
+	sp := s.met.StartMultiGet(len(keys))
+	defer sp.Done()
 	out := make([][]byte, len(keys))
 	type hit struct {
 		pos int
@@ -212,36 +335,39 @@ func (s *Store) MultiGet(keys []uint64) [][]byte {
 // runs before anything is written, so an index without delete support
 // leaves no stray tombstone in the log.
 func (s *Store) Delete(key uint64) (bool, error) {
-	d, ok := s.idx.(index.Deleter)
-	if !ok {
+	if s.del == nil {
 		return false, fmt.Errorf("viper: index %s cannot delete", s.idx.Name())
 	}
+	sp := s.met.StartDelete(stripe(key))
+	defer sp.Done()
 	if _, ok := s.idx.Get(key); !ok {
 		return false, nil
 	}
 	if _, err := s.appendRecord(key, nil, flagDeleted); err != nil {
 		return false, err
 	}
-	if !d.Delete(key) {
+	s.met.Tombstone()
+	if !s.del.Delete(key) {
 		// A concurrent deleter won the race after our Get; the extra
 		// tombstone is harmless and the loser reports "not present".
 		return false, nil
 	}
 	s.liveLen.Add(-1)
+	s.met.LiveDelta(-1)
 	return true, nil
 }
 
 // Scan visits live entries with key >= start in ascending key order,
-// reading each value from PMem. The index must support ordered scans.
+// reading each value from PMem. The index must support ordered scans
+// (CapsOf(idx).Scan, which folds in dynamic checks such as a sharded
+// wrapper's hash-layout refusal).
 func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
-	sc, ok := s.idx.(index.Scanner)
-	if !ok {
+	if s.scanner == nil || !s.caps.Scan {
 		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
 	}
-	if c, ok := s.idx.(index.ScanChecker); ok && !c.CanScan() {
-		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
-	}
-	sc.Scan(start, n, func(k, off uint64) bool {
+	sp := s.met.StartScan(stripe(start))
+	defer sp.Done()
+	s.scanner.Scan(start, n, func(k, off uint64) bool {
 		hdr := s.region.ReadNoCopy(int64(off), recordHeader)
 		vlen := binary.LittleEndian.Uint32(hdr[8:12])
 		if hdr[12]&flagDeleted != 0 {
@@ -258,20 +384,24 @@ const bulkMinPerWorker = 4096
 
 // BulkPut loads sorted distinct keys with a shared value payload through
 // the index's bulk path — the store initialisation the paper uses before
-// its read-only experiments. The PMem appends fan out across a worker
+// its read-only experiments. A nil value synthesises a zeroed payload of
+// the configured ValueSize. The PMem appends fan out across a worker
 // pool (keys are distinct, so the physical append order is irrelevant
 // for recovery's newest-version-wins rule); the index bulk-load then
 // runs once over the full sorted array.
 func (s *Store) BulkPut(keys []uint64, value []byte) error {
+	if value == nil {
+		value = make([]byte, s.valueSize)
+	}
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
-	b, ok := s.idx.(index.Bulk)
-	if !ok {
+	if s.bulk == nil {
 		return fmt.Errorf("viper: index %s cannot bulk load", s.idx.Name())
 	}
+	t0 := time.Now()
 	offs := make([]uint64, len(keys))
-	workers := parallel.Workers(len(keys) / bulkMinPerWorker)
+	workers := s.workerCount(len(keys) / bulkMinPerWorker)
 	err := parallel.ForErr(workers, len(keys), func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			off, err := s.appendRecord(keys[i], value, 0)
@@ -285,10 +415,12 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := b.BulkLoad(keys, offs); err != nil {
+	if err := s.bulk.BulkLoad(keys, offs); err != nil {
 		return err
 	}
-	s.liveLen.Store(int64(len(keys)))
+	prev := s.liveLen.Swap(int64(len(keys)))
+	s.met.LiveDelta(int64(len(keys)) - prev)
+	s.met.ObserveBulkLoad(time.Since(t0))
 	return nil
 }
 
@@ -326,7 +458,7 @@ func (s *Store) scanPages(pages []int64) map[uint64]entry {
 			}
 		}
 	}
-	workers := parallel.Workers(len(pages))
+	workers := s.workerCount(len(pages))
 	if workers <= 1 {
 		live := make(map[uint64]entry)
 		scanChunk(pages, live)
@@ -384,14 +516,17 @@ func installBulk(fresh index.Index, keys, offs []uint64) error {
 // page-parallel (see scanPages) and the index's own bulk-load path may
 // fan out further. The caller provides a fresh index instance.
 func (s *Store) Recover(fresh index.Index) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys, offs := liveSorted(s.scanPages(s.pages))
 	if err := installBulk(fresh, keys, offs); err != nil {
 		return err
 	}
-	s.idx = fresh
-	s.liveLen.Store(int64(len(keys)))
+	s.setIndex(fresh)
+	prev := s.liveLen.Swap(int64(len(keys)))
+	s.met.LiveDelta(int64(len(keys)) - prev)
+	s.met.ObserveRecovery(time.Since(t0))
 	return nil
 }
 
@@ -407,6 +542,7 @@ func (s *Store) Recover(fresh index.Index) error {
 // lock-free claim path (keys are distinct after the scan, so the
 // physical order of the copies does not matter).
 func (s *Store) Compact(fresh index.Index) (int64, error) {
+	t0 := time.Now()
 	s.mu.Lock()
 	oldPages := s.pages
 	s.pages = nil
@@ -418,7 +554,7 @@ func (s *Store) Compact(fresh index.Index) (int64, error) {
 
 	// Copy live records into fresh pages.
 	offs := make([]uint64, len(keys))
-	workers := parallel.Workers(len(keys) / bulkMinPerWorker)
+	workers := s.workerCount(len(keys) / bulkMinPerWorker)
 	err := parallel.ForErr(workers, len(keys), func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			src := int64(srcs[i])
@@ -442,14 +578,16 @@ func (s *Store) Compact(fresh index.Index) (int64, error) {
 		return 0, err
 	}
 	s.mu.Lock()
-	s.idx = fresh
-	s.liveLen.Store(int64(len(keys)))
+	s.setIndex(fresh)
+	prev := s.liveLen.Swap(int64(len(keys)))
 	newPages := int64(len(s.pages))
 	s.mu.Unlock()
+	s.met.LiveDelta(int64(len(keys)) - prev)
 
 	for _, p := range oldPages {
 		s.region.Free(p, PageSize)
 	}
+	s.met.ObserveCompaction(time.Since(t0))
 	return int64(len(oldPages))*PageSize - newPages*PageSize, nil
 }
 
@@ -458,16 +596,13 @@ func (s *Store) Compact(fresh index.Index) (int64, error) {
 func (s *Store) DropIndex(empty index.Index) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.idx = empty
+	s.setIndex(empty)
 }
 
 // Sizes reports Table III's three footprints for the current state:
 // index structure only, index+keys, and index+keys+values.
 func (s *Store) Sizes() (structure, withKeys, withKV int64) {
-	var sz index.Sizes
-	if sized, ok := s.idx.(index.Sized); ok {
-		sz = sized.Sizes()
-	}
+	sz, _ := index.SizesOf(s.idx)
 	structure = sz.Structure
 	withKeys = sz.Structure + sz.Keys
 	withKV = withKeys + s.region.Allocated()
