@@ -132,7 +132,7 @@ func main() {
 			fatalf(1, "snapshot: %v", err)
 		}
 		if err := sink.Snapshot().WriteJSON(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			fatalf(1, "snapshot: %v", err)
 		}
 		if err := f.Close(); err != nil {

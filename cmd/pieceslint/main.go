@@ -1,0 +1,79 @@
+// Command pieceslint runs the repository's invariant analyzer suite
+// (internal/analysis) and exits non-zero when any contract is violated.
+//
+// Usage:
+//
+//	go run ./cmd/pieceslint ./...
+//	go run ./cmd/pieceslint ./internal/viper/...
+//
+// Findings print one per line as path:line:col: analyzer: message.
+// Intentional exceptions live in pieceslint.allow at the module root;
+// stale entries there are reported as warnings so the file stays tight.
+// CI runs `go run ./cmd/pieceslint ./...` as a required step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"learnedpieces/internal/analysis"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary line on a clean run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pieceslint [-q] [pattern ...]\n\npatterns are package directories relative to the module root,\noptionally ending in /... for a recursive walk (default ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pieceslint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := analysis.Run(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pieceslint:", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	for _, e := range res.Unused {
+		fmt.Fprintf(os.Stderr, "pieceslint: warning: %s:%d: allowlist entry %q %q matched nothing; delete it\n",
+			analysis.AllowlistFile, e.Line, e.Analyzer, e.Path)
+	}
+	if n := len(res.Diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "pieceslint: %d finding(s), %d suppressed by %s\n", n, len(res.Suppressed), analysis.AllowlistFile)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("pieceslint: clean (%d finding(s) suppressed by %s)\n", len(res.Suppressed), analysis.AllowlistFile)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

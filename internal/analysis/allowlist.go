@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AllowEntry is one committed exception: a (analyzer, path) pair with a
+// mandatory justification. Path is module-root-relative with forward
+// slashes and names either a single file or a subtree via "dir/...".
+type AllowEntry struct {
+	Analyzer string
+	Path     string
+	Note     string
+	Line     int // line in the allowlist file, for error reporting
+}
+
+// Matches reports whether the entry suppresses d.
+func (e AllowEntry) Matches(d Diagnostic) bool {
+	if e.Analyzer != d.Analyzer && e.Analyzer != "*" {
+		return false
+	}
+	if prefix, ok := strings.CutSuffix(e.Path, "/..."); ok {
+		return d.Path == prefix || strings.HasPrefix(d.Path, prefix+"/")
+	}
+	return d.Path == e.Path
+}
+
+// ParseAllowlist reads the allowlist file. A missing file is an empty
+// allowlist. Each non-comment line is
+//
+//	<analyzer> <path> <justification...>
+//
+// and the justification is required — an exception nobody can explain is
+// a bug, not an exception.
+func ParseAllowlist(path string) ([]AllowEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+	var entries []AllowEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: want \"<analyzer> <path> <justification>\", got %q", path, i+1, line)
+		}
+		if fields[0] != "*" && !known[fields[0]] {
+			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", path, i+1, fields[0])
+		}
+		entries = append(entries, AllowEntry{
+			Analyzer: fields[0],
+			Path:     fields[1],
+			Note:     strings.Join(fields[2:], " "),
+			Line:     i + 1,
+		})
+	}
+	return entries, nil
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const cacheLine = 64
+
+// AtomicDiscipline enforces the two memory-layout contracts the
+// telemetry and device layers depend on:
+//
+//  1. Mixed access: a variable or struct field passed by address to a
+//     sync/atomic function anywhere in the module must never be read or
+//     written with a plain (non-atomic) access at any other site — a
+//     single plain load next to atomic writers is a data race the race
+//     detector only catches when the interleaving happens to occur.
+//     (Fields of the atomic.Int64-style wrapper types are immune by
+//     construction and need no checking.)
+//  2. Padding: a struct that declares a blank cache-line pad (`_
+//     [N]byte`) promises its neighbours never false-share. Each pad must
+//     end exactly on a 64-byte boundary and a trailing pad must round
+//     the struct size to a multiple of 64, so a field added or resized
+//     next to the pad cannot silently re-introduce false sharing.
+//
+// The analyzer runs module-wide because exported fields can be atomically
+// accessed in one package and plainly accessed in another.
+var AtomicDiscipline = &Analyzer{
+	Name:      "atomic-discipline",
+	Doc:       "atomically-accessed fields have no plain access sites; padded structs keep cache-line layout",
+	RunModule: runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *ModulePass) {
+	// Phase 1: collect every variable/field whose address feeds a
+	// sync/atomic call, and sanction those exact identifier uses.
+	atomicVars := make(map[*types.Var]token.Pos) // -> first atomic site
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(info, call) || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				var id *ast.Ident
+				switch target := un.X.(type) {
+				case *ast.SelectorExpr:
+					id = target.Sel
+				case *ast.Ident:
+					id = target
+				default:
+					return true
+				}
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = id.Pos()
+					}
+					sanctioned[id] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: every other use of those variables is a plain access.
+	for _, pkg := range pass.Pkgs {
+		for id, obj := range pkg.Info.Uses {
+			v, ok := obj.(*types.Var)
+			if !ok || sanctioned[id] {
+				continue
+			}
+			if first, ok := atomicVars[v]; ok {
+				p := pass.fset.Position(first)
+				pass.Reportf(id.Pos(), "plain access to %s, which is accessed via sync/atomic (e.g. %s:%d); every access must be atomic", v.Name(), relPath(pass.root, p.Filename), p.Line)
+			}
+		}
+	}
+
+	// Phase 3: cache-line layout of padded structs.
+	for _, pkg := range pass.Pkgs {
+		checkPaddedStructs(pass, pkg)
+	}
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic
+// package-level function (the address-based API).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// checkPaddedStructs verifies every struct with a blank byte-array pad.
+func checkPaddedStructs(pass *ModulePass, pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok || st.NumFields() == 0 {
+				return true
+			}
+			fields := make([]*types.Var, st.NumFields())
+			padded := false
+			for i := range fields {
+				fields[i] = st.Field(i)
+				if isBytePad(fields[i]) {
+					padded = true
+				}
+			}
+			if !padded {
+				return true
+			}
+			offsets := pass.Sizes.Offsetsof(fields)
+			size := pass.Sizes.Sizeof(st)
+			for i, fv := range fields {
+				if !isBytePad(fv) {
+					continue
+				}
+				end := offsets[i] + pass.Sizes.Sizeof(fv.Type())
+				if i == st.NumFields()-1 {
+					if size%cacheLine != 0 {
+						pass.Reportf(ts.Pos(), "padded struct %s is %d bytes, not a multiple of the %d-byte cache line; adjust the trailing pad", ts.Name.Name, size, cacheLine)
+					}
+				} else if end%cacheLine != 0 {
+					pass.Reportf(ts.Pos(), "padded struct %s: pad before field %s ends at offset %d, not on a %d-byte cache-line boundary", ts.Name.Name, fields[i+1].Name(), end, cacheLine)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBytePad reports whether the field is a blank `_ [N]byte` pad.
+func isBytePad(v *types.Var) bool {
+	if v.Name() != "_" {
+		return false
+	}
+	arr, ok := types.Unalias(v.Type()).(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(arr.Elem()).(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

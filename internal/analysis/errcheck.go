@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// UncheckedError flags statement-level calls whose error result is
+// silently dropped in non-test code. The sanctioned discard is an
+// explicit `_ =` assignment, which survives review as a visible
+// decision; a bare call statement does not.
+//
+// Always-succeeding writers are excluded so rendering code stays
+// readable: everything in package fmt (its Fprint family only fails on
+// a failing writer, which the callers here are not measuring), and the
+// in-memory builders strings.Builder / bytes.Buffer whose Write methods
+// are documented to always return a nil error.
+var UncheckedError = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "no silently discarded error results in non-test code",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pass.Pkg.Info, call) || errExcluded(pass.Pkg.Info, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or assign to _ explicitly", renderCallee(pass, call))
+				return true
+			})
+		}
+	},
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.IsType() {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return t != nil && types.Identical(t, errType)
+	}
+}
+
+// errExcluded implements the built-in exclusions.
+func errExcluded(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	recv := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return recv == "strings.Builder" || recv == "bytes.Buffer"
+}
+
+// renderCallee prints the call's function expression (e.g. f.Close).
+func renderCallee(pass *Pass, call *ast.CallExpr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.fset, call.Fun); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

@@ -1,0 +1,43 @@
+// Package atomic exercises the atomic-discipline analyzer: a field that
+// is ever passed to sync/atomic must have no plain access sites, and
+// cache-line padded structs must keep their layout.
+package atomic
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+// Bump is the sanctioned atomic site for hits.
+func Bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Peek mixes a plain load into the atomically-written field.
+func Peek(c *counters) int64 {
+	return c.hits // want "plain access to hits"
+}
+
+// Cold never feeds sync/atomic, so plain access stays legal.
+func Cold(c *counters) int64 {
+	c.cold++
+	return c.cold
+}
+
+// badPad's pad leaves the next field mid cache line.
+type badPad struct { // want "pad before field next ends at offset 16"
+	v    int64
+	_    [8]byte
+	next int64
+}
+
+// goodPad rounds the struct to a full cache line.
+type goodPad struct {
+	v int64
+	_ [56]byte
+}
+
+var _ = badPad{}
+var _ = goodPad{}

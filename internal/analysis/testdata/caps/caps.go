@@ -1,0 +1,36 @@
+// Package caps exercises the caps-discipline analyzer: raw type
+// assertions and type switches against the index package's optional
+// capability interfaces are flagged outside internal/index, while the
+// sanctioned CapsOf/Seams resolutions pass.
+package caps
+
+import "learnedpieces/internal/index"
+
+// Resolve is the discouraged ad-hoc pattern.
+func Resolve(idx index.Index) bool {
+	_, ok := idx.(index.Scanner) // want "type assertion to index.Scanner"
+	return ok
+}
+
+// Mask asserts against the capability descriptor interface itself.
+func Mask(idx index.Index) bool {
+	_, ok := idx.(index.Capser) // want "type assertion to index.Capser"
+	return ok
+}
+
+// Switch hits the type-switch form; anonymous interfaces stay legal.
+func Switch(idx index.Index) int {
+	switch idx.(type) {
+	case index.Bulk: // want "type switch case on index.Bulk"
+		return 1
+	case interface{ Flush() error }:
+		return 2
+	}
+	return 0
+}
+
+// Sanctioned resolutions produce no findings.
+func Sanctioned(idx index.Index) index.Seam {
+	_ = index.CapsOf(idx)
+	return index.Seams(idx)
+}

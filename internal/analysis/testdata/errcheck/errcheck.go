@@ -1,0 +1,37 @@
+// Package errcheck exercises the unchecked-error analyzer: bare call
+// statements that drop an error are flagged; explicit discards, checked
+// errors and the fmt/builder exclusions pass.
+package errcheck
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Drop silently discards the error.
+func Drop(f *os.File) {
+	f.Close() // want "error result of f.Close is silently discarded"
+}
+
+// Multi drops a .T, error. pair.
+func Multi(w io.Writer) {
+	io.WriteString(w, "x") // want "error result of io.WriteString is silently discarded"
+}
+
+// Explicit discards are the sanctioned form.
+func Explicit(f *os.File) {
+	_ = f.Close()
+}
+
+// Checked errors, fmt and in-memory builders are all fine.
+func Checked(w io.WriteCloser) error {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintln(w, b.String())
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return nil
+}

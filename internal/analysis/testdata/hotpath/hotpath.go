@@ -1,0 +1,51 @@
+// Package hotpath exercises the hotpath analyzer: annotated functions
+// reject fmt, clocks, locks, channels, defer and allocation constructs;
+// meters may read the clock; unannotated functions are untouched.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var sink int64
+
+// Hot violates most rules at once.
+//
+//pieces:hotpath
+func Hot(mu *sync.Mutex, n int) {
+	defer fmt.Println(n)         // want "defer in hotpath Hot" "fmt.Println in hotpath Hot"
+	mu.Lock()                    // want "sync.Mutex.Lock in hotpath Hot"
+	buf := make([]byte, n)       // want "make in hotpath Hot allocates"
+	_ = string(buf)              // want "string/slice conversion in hotpath Hot allocates"
+	sink = time.Now().UnixNano() // want "time.Now in hotpath Hot"
+	mu.Unlock()                  // want "sync.Mutex.Unlock in hotpath Hot"
+}
+
+type point struct{ x, y int }
+
+// Alloc covers the remaining allocation and channel constructs.
+//
+//pieces:hotpath
+func Alloc(ch chan int) *point {
+	ch <- 1        // want "channel send in hotpath Alloc"
+	f := func() {} // want "function literal .closure allocation. in hotpath Alloc"
+	f()
+	s := []int{1, 2} // want "slice/map literal allocation in hotpath Alloc"
+	_ = s
+	return &point{x: 1} // want "heap allocation .&composite literal. in hotpath Alloc"
+}
+
+// Meter is a sanctioned meter: the clock is its job; a by-value struct
+// return allocates nothing.
+//
+//pieces:hotpath meter
+func Meter() int64 {
+	return time.Now().UnixNano()
+}
+
+// Warm is unannotated; nothing here is checked.
+func Warm() string {
+	return fmt.Sprintf("%d", time.Now().UnixNano())
+}

@@ -68,7 +68,7 @@ func RunTable2(cfg Config) error {
 		row := []interface{}{kind.String()}
 		for _, name := range []string{"rmi", "fiting-buf", "pgm", "alex", "xindex"} {
 			idx := mustEntry(name).New()
-			if err := idx.(index.Bulk).BulkLoad(keys, keys); err != nil {
+			if err := index.LoadSorted(idx, keys, keys); err != nil {
 				return err
 			}
 			depth, _ := index.DepthOf(idx)
@@ -395,7 +395,7 @@ func RunFig16(cfg Config) error {
 			start = time.Now()
 			var build time.Duration
 			if index.CapsOf(idx).Bulk {
-				if err := idx.(index.Bulk).BulkLoad(keys, offs); err != nil {
+				if err := index.LoadSorted(idx, keys, offs); err != nil {
 					return err
 				}
 				build = time.Since(start)

@@ -46,7 +46,8 @@ func (s *BTreeTop) Build(firsts []uint64) {
 	for i := range ids {
 		ids[i] = uint64(i)
 	}
-	s.t.BulkLoad(firsts, ids)
+	// firsts is sorted by construction, the only condition BulkLoad checks.
+	_ = s.t.BulkLoad(firsts, ids)
 }
 
 // Locate implements Structure.

@@ -12,9 +12,9 @@ package index
 type Caps struct {
 	// Bulk: BulkLoad from sorted distinct keys is supported.
 	Bulk bool
-	// Scan: ordered scans work (folds the former ScanChecker protocol:
-	// an index that has a Scan method but reports CanScan()==false is
-	// not scannable).
+	// Scan: ordered scans work. A wrapper whose Scan method exists but
+	// cannot be honoured by its current composition (the sharded wrapper
+	// over a hash index) masks this through Capser.
 	Scan bool
 	// Delete: keys can be removed.
 	Delete bool
@@ -41,20 +41,14 @@ type Capser interface {
 
 // CapsOf returns the capability descriptor for idx. Indexes implementing
 // Capser answer directly; for everything else the descriptor is derived
-// from the optional interfaces (the implementation seam), honouring the
-// deprecated ScanChecker protocol.
+// from the optional interfaces (the implementation seam).
 func CapsOf(idx Index) Caps {
 	if c, ok := idx.(Capser); ok {
 		return c.Caps()
 	}
 	var caps Caps
 	_, caps.Bulk = idx.(Bulk)
-	if _, ok := idx.(Scanner); ok {
-		caps.Scan = true
-		if c, ok := idx.(ScanChecker); ok && !c.CanScan() {
-			caps.Scan = false
-		}
-	}
+	_, caps.Scan = idx.(Scanner)
 	_, caps.Delete = idx.(Deleter)
 	_, caps.Upsert = idx.(Upserter)
 	_, caps.Sized = idx.(Sized)

@@ -13,12 +13,10 @@ func (fakeBase) Len() int                       { return 0 }
 // fakeFull implements every optional interface.
 type fakeFull struct {
 	fakeBase
-	canScan bool
 }
 
 func (fakeFull) BulkLoad(keys, values []uint64) error     { return nil }
 func (fakeFull) Scan(uint64, int, func(k, v uint64) bool) {}
-func (f fakeFull) CanScan() bool                          { return f.canScan }
 func (fakeFull) Delete(uint64) bool                       { return false }
 func (fakeFull) InsertReplace(k, v uint64) (bool, error)  { return false, nil }
 func (fakeFull) Sizes() Sizes                             { return Sizes{Structure: 1} }
@@ -39,7 +37,7 @@ func TestCapsOfBase(t *testing.T) {
 }
 
 func TestCapsOfFull(t *testing.T) {
-	got := CapsOf(fakeFull{canScan: true})
+	got := CapsOf(fakeFull{})
 	want := Caps{
 		Bulk: true, Scan: true, Delete: true, Upsert: true,
 		Sized: true, Depth: true, Retrain: true,
@@ -50,9 +48,27 @@ func TestCapsOfFull(t *testing.T) {
 	}
 }
 
+// scanMasked has a Scan method its composition cannot honour; Capser is
+// now the only protocol for masking it (the former ScanChecker fold-in
+// was deleted), so Caps must come back with Scan cleared even though the
+// Scanner interface is satisfied.
+type scanMasked struct{ fakeFull }
+
+func (m scanMasked) Caps() Caps {
+	c := CapsOf(m.fakeFull)
+	c.Scan = false
+	return c
+}
+
 func TestCapsOfFoldsScanChecker(t *testing.T) {
-	if CapsOf(fakeFull{canScan: false}).Scan {
-		t.Fatal("CanScan()==false must clear Caps.Scan")
+	if _, ok := interface{}(scanMasked{}).(Scanner); !ok {
+		t.Fatal("scanMasked must still satisfy Scanner for the test to mean anything")
+	}
+	if CapsOf(scanMasked{}).Scan {
+		t.Fatal("Capser masking must clear Caps.Scan despite the Scan method")
+	}
+	if !CapsOf(fakeFull{}).Scan {
+		t.Fatal("unmasked Scanner must report Caps.Scan")
 	}
 }
 

@@ -48,17 +48,6 @@ type Upserter interface {
 	InsertReplace(key, value uint64) (existed bool, err error)
 }
 
-// ScanChecker is implemented by wrapper indexes whose scan support
-// depends on their inner index (the sharded wrapper always has a Scan
-// method, but can only honour it when its shards do).
-//
-// Deprecated: consult CapsOf(idx).Scan instead, which folds this
-// protocol in. The interface remains as an implementation seam for
-// wrappers that predate Capser.
-type ScanChecker interface {
-	CanScan() bool
-}
-
 // Sizes is the memory footprint breakdown of Table III.
 type Sizes struct {
 	Structure int64 // models, inner nodes, directories — excluding key/value storage

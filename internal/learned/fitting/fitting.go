@@ -269,7 +269,9 @@ func (ix *Index) Insert(key, value uint64) error {
 		seg := pla.Segment{FirstKey: key, Start: 0, End: 1}
 		nl := ix.newLeaf([]uint64{key}, []uint64{value}, seg)
 		ix.leaves = append(ix.leaves, nl)
-		ix.inner.Insert(key, uint64(len(ix.leaves)-1))
+		if err := ix.inner.Insert(key, uint64(len(ix.leaves)-1)); err != nil {
+			return err
+		}
 		ix.length = 1
 		return nil
 	}
@@ -364,7 +366,8 @@ func (ix *Index) replaceLeaf(old *segLeaf, keys, vals []uint64) {
 	for _, s := range segs {
 		nl := ix.newLeaf(keys[s.Start:s.End], vals[s.Start:s.End], s)
 		ix.leaves = append(ix.leaves, nl)
-		ix.inner.Insert(s.FirstKey, uint64(len(ix.leaves)-1))
+		// The inner btree's Insert error is interface-shaped and always nil.
+		_ = ix.inner.Insert(s.FirstKey, uint64(len(ix.leaves)-1))
 	}
 	ix.retrains++
 	ix.retrainNs += time.Since(start).Nanoseconds()

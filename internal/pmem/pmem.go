@@ -158,6 +158,10 @@ func (r *Region) FreeChunks(size int) int {
 	return len(r.free[size])
 }
 
+// spin busy-waits for d nanoseconds to emulate a device stall; sleeping
+// would let the scheduler hide the latency being modelled.
+//
+//pieces:hotpath meter
 func spin(d int64) {
 	if d <= 0 {
 		return
@@ -175,6 +179,8 @@ func blocks(n int) int64 {
 // injected latency, skipping the stall when the access stays inside the
 // most recently touched block (block-buffer hit) or the model is
 // disabled — lines are counted either way, stall only when paid.
+//
+//pieces:hotpath
 func (r *Region) charge(off int64, n int, perBlock int64, write bool) {
 	first := off / blockSize
 	last := (off + int64(n) - 1) / blockSize
@@ -201,6 +207,8 @@ func (r *Region) charge(off int64, n int, perBlock int64, write bool) {
 }
 
 // Read copies len(buf) bytes at off into buf, paying read latency.
+//
+//pieces:hotpath
 func (r *Region) Read(off int64, buf []byte) {
 	r.reads.Add(1)
 	r.charge(off, len(buf), r.lat.ReadNs, false)
@@ -209,6 +217,8 @@ func (r *Region) Read(off int64, buf []byte) {
 
 // ReadNoCopy returns a view of the stored bytes, paying read latency.
 // The view must not be modified.
+//
+//pieces:hotpath
 func (r *Region) ReadNoCopy(off int64, n int) []byte {
 	r.reads.Add(1)
 	r.charge(off, n, r.lat.ReadNs, false)
@@ -216,6 +226,8 @@ func (r *Region) ReadNoCopy(off int64, n int) []byte {
 }
 
 // Write stores data at off, paying write latency.
+//
+//pieces:hotpath
 func (r *Region) Write(off int64, data []byte) {
 	r.writes.Add(1)
 	r.charge(off, len(data), r.lat.WriteNs, true)
@@ -223,6 +235,8 @@ func (r *Region) Write(off int64, data []byte) {
 }
 
 // Flush records a persistence barrier (clwb/sfence equivalent).
+//
+//pieces:hotpath
 func (r *Region) Flush(off int64, n int) {
 	r.flushes.Add(1)
 }

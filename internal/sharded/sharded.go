@@ -53,13 +53,6 @@ func New(factory func() index.Index, boundaries []uint64) *Index {
 	return s
 }
 
-// CanScan implements index.ScanChecker: every shard comes from the same
-// factory, so checking one probe instance decides the capability for the
-// whole wrapper.
-//
-// Deprecated: consult index.CapsOf(s).Scan (fed by Caps) instead.
-func (s *Index) CanScan() bool { return s.scannable }
-
 // Caps implements index.Capser, which is what lets the wrapper *mask*
 // capabilities instead of over-promising them: the wrapper's methods
 // exist unconditionally (Scan, Delete, ... no-op politely when the inner
@@ -230,10 +223,10 @@ func (s *Index) loadShard(i int, keys, values []uint64, offset int) error {
 // Scan visits entries with key >= start in ascending order across
 // shards. Each shard is read-locked in turn; the scan is not atomic with
 // respect to concurrent writers. When the inner index type does not
-// support scans (CanScan() == false) the scan visits nothing — callers
-// such as viper.Store.Scan consult CanScan first and surface an error,
-// instead of the old behaviour of silently stopping mid-scan at the
-// first unscannable shard.
+// support scans (Caps masks Scan) the scan visits nothing — callers such
+// as viper.Store.Scan consult index.CapsOf(s).Scan first and surface an
+// error, instead of the old behaviour of silently stopping mid-scan at
+// the first unscannable shard.
 func (s *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 	if !s.scannable {
 		return

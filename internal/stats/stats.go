@@ -271,15 +271,15 @@ func (t *Table) RenderCSV(w io.Writer) {
 func writeCSVRow(w io.Writer, cells []string) {
 	for i, c := range cells {
 		if i > 0 {
-			io.WriteString(w, ",")
+			_, _ = io.WriteString(w, ",")
 		}
 		if strings.ContainsAny(c, ",\"\n") {
-			io.WriteString(w, `"`+strings.ReplaceAll(c, `"`, `""`)+`"`)
+			_, _ = io.WriteString(w, `"`+strings.ReplaceAll(c, `"`, `""`)+`"`)
 		} else {
-			io.WriteString(w, c)
+			_, _ = io.WriteString(w, c)
 		}
 	}
-	io.WriteString(w, "\n")
+	_, _ = io.WriteString(w, "\n")
 }
 
 func pad(s string, w int) string {

@@ -33,7 +33,8 @@ func Handler(sink *Sink) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		sink.Snapshot().WriteJSON(w)
+		// A failed write means the client went away; nothing to report.
+		_ = sink.Snapshot().WriteJSON(w)
 	})
 	mux.HandleFunc("/telemetry/table", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

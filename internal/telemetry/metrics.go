@@ -58,6 +58,8 @@ func newStoreMetrics() *StoreMetrics {
 // branch and the returned zero Span records nothing.
 
 // StartPut counts a Put and starts its (sampled) latency clock.
+//
+//pieces:hotpath
 func (m *StoreMetrics) StartPut(stripe uint64) Span {
 	if m == nil {
 		return Span{}
@@ -66,6 +68,8 @@ func (m *StoreMetrics) StartPut(stripe uint64) Span {
 }
 
 // StartGet counts a Get and starts its (sampled) latency clock.
+//
+//pieces:hotpath
 func (m *StoreMetrics) StartGet(stripe uint64) Span {
 	if m == nil {
 		return Span{}
@@ -74,6 +78,8 @@ func (m *StoreMetrics) StartGet(stripe uint64) Span {
 }
 
 // StartDelete counts a Delete and starts its latency clock.
+//
+//pieces:hotpath
 func (m *StoreMetrics) StartDelete(stripe uint64) Span {
 	if m == nil {
 		return Span{}
@@ -82,6 +88,8 @@ func (m *StoreMetrics) StartDelete(stripe uint64) Span {
 }
 
 // StartScan counts a Scan and starts its latency clock.
+//
+//pieces:hotpath
 func (m *StoreMetrics) StartScan(stripe uint64) Span {
 	if m == nil {
 		return Span{}
@@ -90,6 +98,8 @@ func (m *StoreMetrics) StartScan(stripe uint64) Span {
 }
 
 // StartMultiGet counts one batch of n keys and starts its latency clock.
+//
+//pieces:hotpath
 func (m *StoreMetrics) StartMultiGet(n int) Span {
 	if m == nil {
 		return Span{}
@@ -99,6 +109,8 @@ func (m *StoreMetrics) StartMultiGet(n int) Span {
 }
 
 // GetMiss counts a Get that found no live record.
+//
+//pieces:hotpath
 func (m *StoreMetrics) GetMiss() {
 	if m != nil {
 		m.GetMisses.Inc()
@@ -106,6 +118,8 @@ func (m *StoreMetrics) GetMiss() {
 }
 
 // PageRollover counts a page allocation on the append path.
+//
+//pieces:hotpath
 func (m *StoreMetrics) PageRollover() {
 	if m != nil {
 		m.PageRollovers.Inc()
@@ -113,6 +127,8 @@ func (m *StoreMetrics) PageRollover() {
 }
 
 // Tombstone counts an appended delete marker.
+//
+//pieces:hotpath
 func (m *StoreMetrics) Tombstone() {
 	if m != nil {
 		m.Tombstones.Inc()
@@ -120,6 +136,8 @@ func (m *StoreMetrics) Tombstone() {
 }
 
 // LiveDelta moves the live-key gauge.
+//
+//pieces:hotpath
 func (m *StoreMetrics) LiveDelta(d int64) {
 	if m != nil {
 		m.LiveKeys.Add(d)

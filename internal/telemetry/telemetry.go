@@ -35,9 +35,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//pieces:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//pieces:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current value.
@@ -51,9 +55,13 @@ type Gauge struct {
 }
 
 // Set stores n.
+//
+//pieces:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the level by delta.
+//
+//pieces:hotpath
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Load returns the current level.
@@ -115,6 +123,8 @@ type Span struct {
 
 // Start counts one operation on the stripe's shard and, for sampled
 // calls, starts the latency clock. Safe on a nil Recorder.
+//
+//pieces:hotpath meter
 func (r *Recorder) Start(stripe uint64) Span {
 	if r == nil {
 		return Span{}
@@ -128,6 +138,8 @@ func (r *Recorder) Start(stripe uint64) Span {
 }
 
 // Done records the elapsed time of a sampled span.
+//
+//pieces:hotpath meter
 func (sp Span) Done() {
 	if sp.h != nil {
 		sp.h.Record(time.Since(sp.t0).Nanoseconds())
@@ -137,6 +149,8 @@ func (sp Span) Done() {
 // Observe records a pre-measured duration as one sampled observation and
 // counts the operation. Used by callers that already hold a duration
 // (batch paths, recovery). Safe on a nil Recorder.
+//
+//pieces:hotpath
 func (r *Recorder) Observe(stripe uint64, ns int64) {
 	if r == nil {
 		return

@@ -56,11 +56,8 @@ type Store struct {
 	// Capability surface of the current index, resolved once by setIndex
 	// instead of once per operation: the Caps descriptor for callers and
 	// the typed seams the hot paths dispatch through.
-	caps    index.Caps
-	up      index.Upserter
-	del     index.Deleter
-	scanner index.Scanner
-	bulk    index.Bulk
+	caps index.Caps
+	seam index.Seam
 
 	// Options.
 	maxWorkers int
@@ -148,10 +145,7 @@ func Open(region *pmem.Region, idx index.Index, opts ...Option) *Store {
 func (s *Store) setIndex(idx index.Index) {
 	s.idx = idx
 	s.caps = index.CapsOf(idx)
-	s.up, _ = idx.(index.Upserter)
-	s.del, _ = idx.(index.Deleter)
-	s.scanner, _ = idx.(index.Scanner)
-	s.bulk, _ = idx.(index.Bulk)
+	s.seam = index.Seams(idx)
 }
 
 // Index exposes the volatile index (for stats such as Sizes).
@@ -183,6 +177,8 @@ func (s *Store) workerCount(units int) int {
 
 // stripe spreads keys across recorder shards: a Fibonacci hash whose top
 // bits (the well-mixed ones) land in the recorder's low mask bits.
+//
+//pieces:hotpath
 func stripe(key uint64) uint64 {
 	return (key * 0x9e3779b97f4a7c15) >> 56
 }
@@ -257,8 +253,8 @@ func (s *Store) Put(key uint64, value []byte) error {
 		return err
 	}
 	var existed bool
-	if s.up != nil {
-		existed, err = s.up.InsertReplace(key, uint64(off))
+	if s.seam.Upsert != nil {
+		existed, err = s.seam.Upsert.InsertReplace(key, uint64(off))
 	} else {
 		_, existed = s.idx.Get(key)
 		err = s.idx.Insert(key, uint64(off))
@@ -275,6 +271,8 @@ func (s *Store) Put(key uint64, value []byte) error {
 
 // Get reads the value stored under key. The returned slice aliases the
 // region and must not be modified.
+//
+//pieces:hotpath
 func (s *Store) Get(key uint64) ([]byte, bool) {
 	sp := s.met.StartGet(stripe(key))
 	off, ok := s.idx.Get(key)
@@ -335,7 +333,7 @@ func (s *Store) MultiGet(keys []uint64) [][]byte {
 // runs before anything is written, so an index without delete support
 // leaves no stray tombstone in the log.
 func (s *Store) Delete(key uint64) (bool, error) {
-	if s.del == nil {
+	if s.seam.Delete == nil {
 		return false, fmt.Errorf("viper: index %s cannot delete", s.idx.Name())
 	}
 	sp := s.met.StartDelete(stripe(key))
@@ -347,7 +345,7 @@ func (s *Store) Delete(key uint64) (bool, error) {
 		return false, err
 	}
 	s.met.Tombstone()
-	if !s.del.Delete(key) {
+	if !s.seam.Delete.Delete(key) {
 		// A concurrent deleter won the race after our Get; the extra
 		// tombstone is harmless and the loser reports "not present".
 		return false, nil
@@ -362,12 +360,12 @@ func (s *Store) Delete(key uint64) (bool, error) {
 // (CapsOf(idx).Scan, which folds in dynamic checks such as a sharded
 // wrapper's hash-layout refusal).
 func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
-	if s.scanner == nil || !s.caps.Scan {
+	if s.seam.Scan == nil || !s.caps.Scan {
 		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
 	}
 	sp := s.met.StartScan(stripe(start))
 	defer sp.Done()
-	s.scanner.Scan(start, n, func(k, off uint64) bool {
+	s.seam.Scan.Scan(start, n, func(k, off uint64) bool {
 		hdr := s.region.ReadNoCopy(int64(off), recordHeader)
 		vlen := binary.LittleEndian.Uint32(hdr[8:12])
 		if hdr[12]&flagDeleted != 0 {
@@ -396,7 +394,7 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
-	if s.bulk == nil {
+	if s.seam.Bulk == nil {
 		return fmt.Errorf("viper: index %s cannot bulk load", s.idx.Name())
 	}
 	t0 := time.Now()
@@ -415,7 +413,7 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := s.bulk.BulkLoad(keys, offs); err != nil {
+	if err := s.seam.Bulk.BulkLoad(keys, offs); err != nil {
 		return err
 	}
 	prev := s.liveLen.Swap(int64(len(keys)))
@@ -496,20 +494,6 @@ func liveSorted(live map[uint64]entry) (keys, offs []uint64) {
 	return keys, offs
 }
 
-// installBulk loads (keys, offs) into fresh via its bulk path, falling
-// back to one insert per key.
-func installBulk(fresh index.Index, keys, offs []uint64) error {
-	if b, ok := fresh.(index.Bulk); ok {
-		return b.BulkLoad(keys, offs)
-	}
-	for i, k := range keys {
-		if err := fresh.Insert(k, offs[i]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // Recover rebuilds the volatile index from the PMem pages after a
 // (simulated) crash: it scans every record, keeps the newest version per
 // key, drops tombstones, and bulk-loads the index. The page scan runs
@@ -520,7 +504,7 @@ func (s *Store) Recover(fresh index.Index) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys, offs := liveSorted(s.scanPages(s.pages))
-	if err := installBulk(fresh, keys, offs); err != nil {
+	if err := index.LoadSorted(fresh, keys, offs); err != nil {
 		return err
 	}
 	s.setIndex(fresh)
@@ -574,7 +558,7 @@ func (s *Store) Compact(fresh index.Index) (int64, error) {
 	}
 
 	// Install the rebuilt index.
-	if err := installBulk(fresh, keys, offs); err != nil {
+	if err := index.LoadSorted(fresh, keys, offs); err != nil {
 		return 0, err
 	}
 	s.mu.Lock()
