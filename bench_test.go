@@ -18,6 +18,7 @@ import (
 	"learnedpieces/internal/learned/rs"
 	"learnedpieces/internal/pla"
 	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/search"
 	"learnedpieces/internal/viper"
 	"learnedpieces/internal/workload"
 )
@@ -81,6 +82,44 @@ func BenchmarkFig10ReadOnly(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkKernelLastMile crosses the last-mile kernel policies with
+// the paper's uniform and OSM-like key distributions on two spline
+// indexes. PolicyBinary is the pre-kernel behavior (the hand-rolled
+// sort.Search loops every index used to carry), so each binary-vs-rest
+// pair is a before/after on the same build; the policy is process-wide,
+// so sub-benchmarks run serially and restore the default when done.
+func BenchmarkKernelLastMile(b *testing.B) {
+	// Ten times the usual bench scale: at 2M keys the key array no
+	// longer fits in L2, which is where the kernels separate — on a
+	// cache-resident array every probe is cheap and the policies tie.
+	const kernelBenchN = 10 * benchN
+	defer search.SetPolicy(search.PolicyAuto)
+	for _, ds := range []struct {
+		name string
+		kind dataset.Kind
+	}{{"uniform", dataset.YCSBUniform}, {"osm", dataset.OSMLike}} {
+		keys := dataset.Generate(ds.kind, kernelBenchN, 1)
+		probes := dataset.Shuffled(keys, 2)
+		for _, name := range []string{"rs", "pgm"} {
+			idx := loadedIndex(b, name, keys)
+			for _, pol := range []string{"binary", "branchless", "interp", "auto"} {
+				p, ok := search.ParsePolicy(pol)
+				if !ok {
+					b.Fatalf("bad policy %s", pol)
+				}
+				b.Run(ds.name+"/"+name+"/"+pol, func(b *testing.B) {
+					search.SetPolicy(p)
+					for i := 0; i < b.N; i++ {
+						if _, ok := idx.Get(probes[i%len(probes)]); !ok {
+							b.Fatal("missing key")
+						}
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -37,6 +37,30 @@ func Alloc(ch chan int) *point {
 	return &point{x: 1} // want "heap allocation .&composite literal. in hotpath Alloc"
 }
 
+// LeakyKernel is a last-mile search kernel that illegally allocates:
+// instead of fixed lane arrays it builds its batch state on the heap
+// and closes over the key slice for the comparison — both defeat the
+// allocation-free contract of internal/search kernels.
+//
+//pieces:hotpath
+func LeakyKernel(keys []uint64, key uint64) int {
+	lanes := make([]int, 16)  // want "make in hotpath LeakyKernel allocates"
+	cmp := func(i int) bool { // want "function literal .closure allocation. in hotpath LeakyKernel"
+		return keys[i] >= key
+	}
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmp(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	lanes[0] = lo
+	return lanes[0]
+}
+
 // Meter is a sanctioned meter: the clock is its job; a by-value struct
 // return allocates nothing.
 //

@@ -5,10 +5,10 @@
 package btree
 
 import (
-	"sort"
 	"unsafe"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/search"
 )
 
 const (
@@ -72,13 +72,56 @@ func (t *BTree) Get(key uint64) (uint64, bool) {
 }
 
 // upperBound returns the index of the first element > key.
+//
+//pieces:hotpath
 func upperBound(keys []uint64, key uint64) int {
-	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+	return search.UpperBound(keys, key, 0, len(keys))
 }
 
 // lowerBound returns the index of the first element >= key.
+//
+//pieces:hotpath
 func lowerBound(keys []uint64, key uint64) int {
-	return sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
+	return search.LowerBound(keys, key, 0, len(keys))
+}
+
+// GetBatch implements index.BatchGetter: the descents of up to MaxLanes
+// keys advance one level per round (the tree is perfectly height-
+// balanced, so every lane reaches its leaf after height-1 inner steps),
+// then the leaf searches resolve in interleaved lockstep.
+func (t *BTree) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	for off := 0; off < len(keys); off += search.MaxLanes {
+		end := off + search.MaxLanes
+		if end > len(keys) {
+			end = len(keys)
+		}
+		m := end - off
+		var node [search.MaxLanes]interface{}
+		for l := 0; l < m; l++ {
+			node[l] = t.root
+		}
+		for lvl := 1; lvl < t.height; lvl++ {
+			for l := 0; l < m; l++ {
+				x := node[l].(*inner)
+				node[l] = x.kids[upperBound(x.keys[:x.n], keys[off+l])]
+			}
+		}
+		var b search.Batch
+		var lv [search.MaxLanes]*leaf
+		for l := 0; l < m; l++ {
+			x := node[l].(*leaf)
+			lv[l] = x
+			b.Add(x.keys[:x.n], keys[off+l], 0, x.n)
+		}
+		b.Run()
+		for l := 0; l < m; l++ {
+			if b.Found(l) {
+				vals[off+l], found[off+l] = lv[l].vals[b.Pos(l)], true
+			} else {
+				vals[off+l], found[off+l] = 0, false
+			}
+		}
+	}
 }
 
 // Floor returns the entry with the greatest key <= key, used when the
@@ -90,13 +133,19 @@ func (t *BTree) Floor(key uint64) (uint64, uint64, bool) {
 		in *inner
 		ci int
 	}
-	var stack []frame
+	// The stack depth is the tree height minus one; a fixed array keeps
+	// Floor allocation-free on the FITing-tree leaf-lookup hot path
+	// (maxHeight is unreachable: fanout >= innerCap/2 per level).
+	const maxHeight = 48
+	var stack [maxHeight]frame
+	depth := 0
 	n := t.root
 	for {
 		switch x := n.(type) {
 		case *inner:
 			ci := upperBound(x.keys[:x.n], key)
-			stack = append(stack, frame{x, ci})
+			stack[depth] = frame{x, ci}
+			depth++
 			n = x.kids[ci]
 		case *leaf:
 			if i := upperBound(x.keys[:x.n], key); i > 0 {
@@ -104,7 +153,7 @@ func (t *BTree) Floor(key uint64) (uint64, uint64, bool) {
 			}
 			// This leaf holds nothing <= key: fall back to the nearest
 			// non-empty subtree to the left of the descent path.
-			for s := len(stack) - 1; s >= 0; s-- {
+			for s := depth - 1; s >= 0; s-- {
 				for j := stack[s].ci - 1; j >= 0; j-- {
 					if k, v, ok := maxOf(stack[s].in.kids[j]); ok {
 						return k, v, true

@@ -20,6 +20,9 @@ type Caps struct {
 	Delete bool
 	// Upsert: InsertReplace reports prior existence atomically.
 	Upsert bool
+	// BatchGet: GetBatch resolves whole lookup batches with interleaved
+	// last-mile searches.
+	BatchGet bool
 	// Sized: the footprint breakdown of Table III is available.
 	Sized bool
 	// Depth: the average root->leaf depth of Table II is available.
@@ -51,6 +54,7 @@ func CapsOf(idx Index) Caps {
 	_, caps.Scan = idx.(Scanner)
 	_, caps.Delete = idx.(Deleter)
 	_, caps.Upsert = idx.(Upserter)
+	_, caps.BatchGet = idx.(BatchGetter)
 	_, caps.Sized = idx.(Sized)
 	_, caps.Depth = idx.(DepthReporter)
 	_, caps.Retrain = idx.(RetrainReporter)

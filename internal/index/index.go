@@ -39,6 +39,19 @@ type Deleter interface {
 	Delete(key uint64) bool
 }
 
+// BatchGetter is implemented by indexes whose lookup path can resolve a
+// batch of independent keys with interleaved last-mile searches
+// (internal/search.Batch): predict every key's window first, then
+// search all windows in lockstep so the batch's cache misses overlap.
+// GetBatch resolves keys[i] into vals[i] and found[i] for every i
+// (found[i] is set to false on a miss, so callers need not pre-clear);
+// the three slices must have equal length. It must be exactly
+// equivalent to len(keys) independent Gets and as safe for concurrent
+// use as Get.
+type BatchGetter interface {
+	GetBatch(keys []uint64, vals []uint64, found []bool)
+}
+
 // Upserter is implemented by indexes that can report, atomically with
 // the insert itself, whether the key already existed. Concurrent-write
 // stores need this to keep derived counters (such as the KV store's live

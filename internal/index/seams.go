@@ -15,6 +15,7 @@ type Seam struct {
 	Delete Deleter
 	Scan   Scanner
 	Bulk   Bulk
+	Batch  BatchGetter
 }
 
 // Seams resolves idx's hot-path dispatch surface. This is the one
@@ -26,6 +27,7 @@ func Seams(idx Index) Seam {
 	s.Delete, _ = idx.(Deleter)
 	s.Scan, _ = idx.(Scanner)
 	s.Bulk, _ = idx.(Bulk)
+	s.Batch, _ = idx.(BatchGetter)
 	return s
 }
 

@@ -119,6 +119,37 @@ func testCaps(t *testing.T, f Factory) {
 		}
 	}
 
+	if caps.BatchGet {
+		bg, ok := idx.(index.BatchGetter)
+		if !ok {
+			t.Fatal("caps report BatchGet but index.BatchGetter is not implemented")
+		}
+		// Mix of present keys and likely misses, larger than one lockstep
+		// group so chunking is exercised; GetBatch must agree with Get on
+		// every position and overwrite the garbage priming.
+		probe := append([]uint64(nil), keys[:50]...)
+		for i := 0; i < 20; i++ {
+			probe = append(probe, uint64(i)*2+1)
+		}
+		vals := make([]uint64, len(probe))
+		found := make([]bool, len(probe))
+		for i := range vals {
+			vals[i], found[i] = 999_999, i%2 == 0
+		}
+		bg.GetBatch(probe, vals, found)
+		for i, k := range probe {
+			wv, wok := idx.Get(k)
+			if found[i] != wok || (wok && vals[i] != wv) {
+				t.Fatalf("GetBatch[%d] key %d = (%d,%v), Get = (%d,%v)", i, k, vals[i], found[i], wv, wok)
+			}
+			if !wok && vals[i] != 0 {
+				t.Fatalf("GetBatch[%d] miss left val %d, want 0", i, vals[i])
+			}
+		}
+	} else if _, ok := idx.(index.BatchGetter); ok {
+		t.Fatal("index.BatchGetter implemented but caps mask BatchGet")
+	}
+
 	if sc, ok := idx.(index.Scanner); ok {
 		visited := 0
 		sc.Scan(0, 0, func(k, v uint64) bool { visited++; return true })

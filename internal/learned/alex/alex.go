@@ -306,6 +306,51 @@ func (ix *Index) Get(key uint64) (uint64, bool) {
 	return d.g.Values[slot], true
 }
 
+// GetBatch implements index.BatchGetter. ALEX's depth is variable per
+// key (most data nodes hang directly under the root), so the lockstep
+// rounds advance each still-descending lane by one inner-node step
+// until every lane reached its data node; the per-node gapped-array
+// searches then run per lane (each is an exponential search from that
+// node's own model, already window-tight).
+func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	for off := 0; off < len(keys); off += batchLanes {
+		end := off + batchLanes
+		if end > len(keys) {
+			end = len(keys)
+		}
+		m := end - off
+		var node [batchLanes]interface{}
+		for l := 0; l < m; l++ {
+			node[l] = ix.root
+		}
+		for {
+			live := false
+			for l := 0; l < m; l++ {
+				if x, ok := node[l].(*innerNode); ok {
+					node[l] = x.children[x.childSlot(keys[off+l])]
+					if _, inner := node[l].(*innerNode); inner {
+						live = true
+					}
+				}
+			}
+			if !live {
+				break
+			}
+		}
+		for l := 0; l < m; l++ {
+			d := node[l].(*dataNode)
+			if slot, ok := d.g.SlotOf(keys[off+l]); ok {
+				vals[off+l], found[off+l] = d.g.Values[slot], true
+			} else {
+				vals[off+l], found[off+l] = 0, false
+			}
+		}
+	}
+}
+
+// batchLanes sizes GetBatch's lockstep descent groups.
+const batchLanes = 16
+
 // Insert stores value under key, replacing any existing value. The
 // model-based gap insertion itself lives in pla.GappedNode.Insert; this
 // method handles the tree plumbing: descent, density-triggered

@@ -27,6 +27,7 @@ import (
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
 	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/search"
 )
 
 const (
@@ -62,7 +63,11 @@ type Index struct {
 
 	// DRAM directory, sorted by firstKey (metadata cache; all key/value
 	// payloads stay in PMem).
-	metas  []*nodeMeta
+	metas []*nodeMeta
+	// firsts mirrors metas[i].firstKey in a flat array so locate probes
+	// contiguous DRAM through the shared search kernel instead of
+	// chasing one pointer per comparison.
+	firsts []uint64
 	length int
 }
 
@@ -229,12 +234,26 @@ func (ix *Index) retire(m *nodeMeta) {
 // --- index operations ---
 
 // locate returns the directory position of the node covering key.
+//
+//pieces:hotpath
 func (ix *Index) locate(key uint64) int {
-	i := sort.Search(len(ix.metas), func(i int) bool { return ix.metas[i].firstKey > key })
+	i := search.UpperBound(ix.firsts, key, 0, len(ix.firsts))
 	if i == 0 {
 		return 0
 	}
 	return i - 1
+}
+
+// syncFirsts rebuilds the flat firstKey mirror after any directory
+// mutation (bulk load, split, recovery).
+func (ix *Index) syncFirsts() {
+	if cap(ix.firsts) < len(ix.metas) {
+		ix.firsts = make([]uint64, len(ix.metas))
+	}
+	ix.firsts = ix.firsts[:len(ix.metas)]
+	for i, m := range ix.metas {
+		ix.firsts[i] = m.firstKey
+	}
 }
 
 func (m *nodeMeta) predictSlot(key uint64) int {
@@ -334,6 +353,7 @@ func (ix *Index) BulkLoad(keys, values []uint64) error {
 		}
 	}
 	ix.metas = ix.metas[:0]
+	ix.firsts = ix.firsts[:0]
 	per := nodeCapacity * 7 / 10
 	for start := 0; start < len(keys); start += per {
 		end := start + per
@@ -360,6 +380,7 @@ func (ix *Index) appendNode(keys, vals []uint64) error {
 		return err
 	}
 	ix.metas = append(ix.metas, m)
+	ix.firsts = append(ix.firsts, m.firstKey)
 	return nil
 }
 
@@ -551,6 +572,7 @@ func (ix *Index) split(pos int) error {
 	ix.metas = append(ix.metas, nil)
 	copy(ix.metas[pos+2:], ix.metas[pos+1:])
 	ix.metas[pos+1] = mr
+	ix.syncFirsts()
 	return nil
 }
 
@@ -641,6 +663,7 @@ func Recover(region *pmem.Region) (*Index, error) {
 		ix.length += m.numKeys
 	}
 	sort.Slice(ix.metas, func(i, j int) bool { return ix.metas[i].firstKey < ix.metas[j].firstKey })
+	ix.syncFirsts()
 	return ix, nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/search"
 )
 
 // Config controls models, bins and retraining.
@@ -185,24 +186,11 @@ func (s *segment) baseSearch(key uint64) (int, bool) {
 		return 0, false
 	}
 	p := s.predict(key)
-	lo := p - s.maxErr
-	hi := p + s.maxErr + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > n {
-		hi = n
-	}
-	w := s.keys[lo:hi]
-	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
-	if lo+j < n && s.keys[lo+j] == key {
-		return lo + j, true
-	}
-	return lo + j, false
+	return search.FindBounded(s.keys, key, p-s.maxErr, p+s.maxErr+1)
 }
 
 func (t *table) locate(key uint64) *segment {
-	i := sort.Search(len(t.firsts), func(i int) bool { return t.firsts[i] > key })
+	i := search.UpperBound(t.firsts, key, 0, len(t.firsts))
 	if i == 0 {
 		return t.segs[0]
 	}
@@ -214,7 +202,7 @@ func (t *table) locate(key uint64) *segment {
 func descend(b *bin, key uint64) *bin {
 	b.mu.Lock()
 	for b.children != nil {
-		i := sort.Search(len(b.pivots), func(j int) bool { return b.pivots[j] > key })
+		i := search.UpperBound(b.pivots, key, 0, len(b.pivots))
 		child := b.children[i]
 		child.mu.Lock()
 		b.mu.Unlock()
@@ -227,7 +215,7 @@ func descend(b *bin, key uint64) *bin {
 func binGet(b *bin, key uint64) (uint64, bool, bool) {
 	b = descend(b, key)
 	defer b.mu.Unlock()
-	i := sort.Search(len(b.k), func(j int) bool { return b.k[j] >= key })
+	i := search.LowerBound(b.k, key, 0, len(b.k))
 	if i < len(b.k) && b.k[i] == key {
 		return b.v[i], b.dead[i], true
 	}
@@ -266,7 +254,7 @@ func (ix *Index) upsert(key, value uint64, dead bool) bool {
 	ix.structMu.RLock()
 	seg := ix.tab.Load().locate(key)
 	b := descend(seg.root, key)
-	i := sort.Search(len(b.k), func(j int) bool { return b.k[j] >= key })
+	i := search.LowerBound(b.k, key, 0, len(b.k))
 	wasLive := false
 	if i < len(b.k) && b.k[i] == key {
 		wasLive = !b.dead[i]
@@ -363,7 +351,7 @@ func (ix *Index) splitBin(seg *segment, b *bin, key uint64) {
 func binDepth(b *bin, key uint64, limit int) int {
 	d := 1
 	for b.children != nil && d <= limit {
-		i := sort.Search(len(b.pivots), func(j int) bool { return b.pivots[j] > key })
+		i := search.UpperBound(b.pivots, key, 0, len(b.pivots))
 		b = b.children[i]
 		d++
 	}

@@ -13,12 +13,12 @@
 package fitting
 
 import (
-	"sort"
 	"time"
 
 	"learnedpieces/internal/btree"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/search"
 )
 
 // Mode selects the insertion strategy.
@@ -96,28 +96,15 @@ func (l *segLeaf) predict(key uint64) int {
 	return p
 }
 
-// search finds key in the leaf's base array with an error-bounded binary
-// search around the model prediction.
+// search finds key in the leaf's base array with an error-bounded
+// search around the model prediction; on a miss it returns the
+// insertion point inside the window.
 func (l *segLeaf) search(key uint64) (int, bool) {
-	n := len(l.keys)
-	if n == 0 {
+	if len(l.keys) == 0 {
 		return 0, false
 	}
 	p := l.predict(key)
-	lo := p - l.maxErr
-	hi := p + l.maxErr + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > n {
-		hi = n
-	}
-	w := l.keys[lo:hi]
-	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
-	if j < len(w) && w[j] == key {
-		return lo + j, true
-	}
-	return lo + j, false
+	return search.FindBounded(l.keys, key, p-l.maxErr, p+l.maxErr+1)
 }
 
 // Index is the FITing-tree.
@@ -255,11 +242,7 @@ func (ix *Index) Get(key uint64) (uint64, bool) {
 }
 
 func bufSearch(buf []uint64, key uint64) (int, bool) {
-	i := sort.Search(len(buf), func(j int) bool { return buf[j] >= key })
-	if i < len(buf) && buf[i] == key {
-		return i, true
-	}
-	return i, false
+	return search.Find(buf, key)
 }
 
 // Insert stores value under key, replacing any existing value.
@@ -347,7 +330,7 @@ func (ix *Index) retrainLeaf(l *segLeaf) {
 func (ix *Index) retrainLeafWith(l *segLeaf, key, value uint64) {
 	keys := make([]uint64, 0, len(l.keys)+1)
 	vals := make([]uint64, 0, len(l.keys)+1)
-	pos := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	pos := search.LowerBound(l.keys, key, 0, len(l.keys))
 	keys = append(keys, l.keys[:pos]...)
 	vals = append(vals, l.vals[:pos]...)
 	keys = append(keys, key)

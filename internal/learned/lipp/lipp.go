@@ -204,6 +204,51 @@ func (ix *Index) Get(key uint64) (uint64, bool) {
 	}
 }
 
+// GetBatch implements index.BatchGetter. LIPP has no last-mile search
+// to interleave — lookups are pure prediction-following — but the
+// descents themselves are chains of dependent cache misses, so the
+// lockstep rounds advance every unresolved lane one node per round and
+// let the node loads of a round overlap.
+func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	const lanes = 16
+	for off := 0; off < len(keys); off += lanes {
+		end := off + lanes
+		if end > len(keys) {
+			end = len(keys)
+		}
+		m := end - off
+		var nd [lanes]*node
+		for l := 0; l < m; l++ {
+			nd[l] = ix.root
+			vals[off+l], found[off+l] = 0, false
+		}
+		live := m
+		for live > 0 {
+			live = 0
+			for l := 0; l < m; l++ {
+				cur := nd[l]
+				if cur == nil {
+					continue
+				}
+				key := keys[off+l]
+				e := &cur.entries[cur.slot(key)]
+				switch e.kind {
+				case entryEmpty:
+					nd[l] = nil
+				case entryData:
+					if e.key == key {
+						vals[off+l], found[off+l] = e.val, true
+					}
+					nd[l] = nil
+				case entryChild:
+					nd[l] = e.child
+					live++
+				}
+			}
+		}
+	}
+}
+
 // Insert stores value under key, replacing any existing value.
 func (ix *Index) Insert(key, value uint64) error {
 	var path []*node

@@ -14,6 +14,7 @@ import (
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/search"
 )
 
 // Config controls the PGM shape.
@@ -101,6 +102,20 @@ func (s *Static) find(key uint64) (int, bool) {
 	if len(s.keys) == 0 {
 		return 0, false
 	}
+	lo, hi := s.window(key)
+	if i, ok := search.FindBounded(s.keys, key, lo, hi); ok {
+		return i, true
+	}
+	// Safety net against boundary rounding: widen once.
+	if i, ok := search.Find(s.keys, key); ok {
+		return i, true
+	}
+	return 0, false
+}
+
+// window runs the internal-level descent for key and returns the
+// level-0 error window around the leaf segment's prediction.
+func (s *Static) window(key uint64) (lo, hi int) {
 	segIdx := 0
 	for lvl := len(s.levels) - 1; lvl >= 1; lvl-- {
 		seg := &s.levels[lvl][segIdx]
@@ -109,41 +124,14 @@ func (s *Static) find(key uint64) (int, bool) {
 	}
 	seg := &s.levels[0][segIdx]
 	p := seg.Predict(key)
-	lo := p - s.eps - 1
-	hi := p + s.eps + 2
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(s.keys) {
-		hi = len(s.keys)
-	}
-	w := s.keys[lo:hi]
-	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
-	if j < len(w) && w[j] == key {
-		return lo + j, true
-	}
-	// Safety net against boundary rounding: widen once.
-	j = sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
-	if j < len(s.keys) && s.keys[j] == key {
-		return j, true
-	}
-	return 0, false
+	return p - s.eps - 1, p + s.eps + 2
 }
 
 // floorIn returns the index of the greatest domain element <= key,
 // searching an eps window around the predicted position p and adjusting
 // outward if the window missed.
 func floorIn(domain []uint64, p, eps int, key uint64) int {
-	lo := p - eps - 1
-	hi := p + eps + 2
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(domain) {
-		hi = len(domain)
-	}
-	w := domain[lo:hi]
-	j := lo + sort.Search(len(w), func(i int) bool { return w[i] > key })
+	j := search.UpperBound(domain, key, p-eps-1, p+eps+2)
 	// j is the first index in the window with domain[j] > key; adjust for
 	// the (rare) case where the true boundary lies outside the window.
 	for j < len(domain) && domain[j] <= key {
@@ -222,8 +210,7 @@ func (ix *Index) BulkLoad(keys, values []uint64) error {
 
 // bufSearch returns the buffer position of key.
 func (ix *Index) bufSearch(key uint64) (int, bool) {
-	i := sort.Search(len(ix.bufK), func(j int) bool { return ix.bufK[j] >= key })
-	return i, i < len(ix.bufK) && ix.bufK[i] == key
+	return search.Find(ix.bufK, key)
 }
 
 // bufUpsert writes (key,value,dead) into the sorted buffer, flushing to
@@ -279,6 +266,71 @@ func (ix *Index) Get(key uint64) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// GetBatch implements index.BatchGetter with the same shadowing order
+// as Get — buffer first, then runs newest-first. Within each run the
+// per-key internal descent (small arrays, cache-resident) runs
+// sequentially, and the level-0 error windows over the run's big key
+// array resolve in interleaved lockstep.
+func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	for off := 0; off < len(keys); off += search.MaxLanes {
+		end := off + search.MaxLanes
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		// done marks keys whose fate a newer layer already decided
+		// (found, or shadowed by a tombstone).
+		var done [search.MaxLanes]bool
+		for l, key := range chunk {
+			vals[off+l], found[off+l] = 0, false
+			if i, ok := ix.bufSearch(key); ok {
+				done[l] = true
+				if !ix.bufD[i] {
+					vals[off+l], found[off+l] = ix.bufV[i], true
+				}
+			}
+		}
+		for _, r := range ix.runs {
+			if r == nil {
+				continue
+			}
+			var b search.Batch
+			var lane [search.MaxLanes]int
+			for l, key := range chunk {
+				if done[l] || len(r.keys) == 0 {
+					continue
+				}
+				lo, hi := r.window(key)
+				lane[b.Len()] = l
+				b.Add(r.keys, key, lo, hi)
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			b.Run()
+			for x := 0; x < b.Len(); x++ {
+				l := lane[x]
+				i, ok := b.Pos(x), b.Found(x)
+				if !ok {
+					// Same widen-once safety net as Static.find.
+					i, ok = search.Find(r.keys, chunk[l])
+				}
+				if !ok {
+					continue
+				}
+				done[l] = true
+				if r.dead != nil && r.dead[i] {
+					continue
+				}
+				found[off+l] = true
+				if r.vals != nil {
+					vals[off+l] = r.vals[i]
+				}
+			}
+		}
+	}
 }
 
 // Insert stores value under key, replacing any existing value.

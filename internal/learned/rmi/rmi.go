@@ -13,6 +13,7 @@ import (
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
+	"learnedpieces/internal/search"
 )
 
 // Config controls the RMI shape.
@@ -247,12 +248,44 @@ func (ix *Index) find(key uint64) (int, bool) {
 	if lo >= hi {
 		return 0, false
 	}
-	w := ix.keys[lo:hi]
-	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
-	if j < len(w) && w[j] == key {
-		return lo + j, true
+	return search.FindBounded(ix.keys, key, lo, hi)
+}
+
+// GetBatch implements index.BatchGetter: stage one prediction per key,
+// then resolve all the error windows with the interleaved lockstep
+// kernel so the batch's leaf-array cache misses overlap.
+func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	n := len(ix.keys)
+	for off := 0; off < len(keys); off += search.MaxLanes {
+		end := off + search.MaxLanes
+		if end > len(keys) {
+			end = len(keys)
+		}
+		var b search.Batch
+		for _, key := range keys[off:end] {
+			if n == 0 {
+				b.Add(nil, key, 0, 0)
+				continue
+			}
+			leaf := &ix.leaves[ix.predictLeaf(key, len(ix.leaves))]
+			p := leaf.predict(key, n)
+			b.Add(ix.keys, key, p+int(leaf.minErr), p+int(leaf.maxErr)+1)
+		}
+		b.Run()
+		for l := 0; l < b.Len(); l++ {
+			i := off + l
+			if !b.Found(l) {
+				vals[i], found[i] = 0, false
+				continue
+			}
+			found[i] = true
+			if ix.vals != nil {
+				vals[i] = ix.vals[b.Pos(l)]
+			} else {
+				vals[i] = 0
+			}
+		}
 	}
-	return 0, false
 }
 
 // Scan visits entries with key >= start in ascending order.

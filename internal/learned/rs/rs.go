@@ -15,6 +15,7 @@ import (
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/search"
 )
 
 // Config controls the RadixSpline build.
@@ -124,40 +125,67 @@ func (ix *Index) Get(key uint64) (uint64, bool) {
 }
 
 func (ix *Index) find(key uint64) (int, bool) {
-	n := len(ix.keys)
-	if n == 0 {
+	lo, hi, ok := ix.window(key)
+	if !ok {
 		return 0, false
 	}
-	if key < ix.keys[0] || key > ix.keys[n-1] {
-		return 0, false
+	return search.FindBounded(ix.keys, key, lo, hi)
+}
+
+// window runs the radix-table + spline stages for one key and returns
+// the ±eps last-mile window, or ok=false when the key is out of range.
+// Knot bracketing finds the last spline point with Key <= key within
+// the (narrow on uniform data, wide on skewed data) table window.
+func (ix *Index) window(key uint64) (lo, hi int, ok bool) {
+	n := len(ix.keys)
+	if n == 0 || key < ix.keys[0] || key > ix.keys[n-1] {
+		return 0, 0, false
 	}
 	p := int(key >> ix.shift)
-	lo, hi := int(ix.table[p]), int(ix.table[p+1])
-	// Knot bracketing: find the last spline point with Key <= key within
-	// the (narrow on uniform data, wide on skewed data) table window.
-	w := ix.spline[lo:hi]
-	j := lo + sort.Search(len(w), func(i int) bool { return w[i].Key > key })
+	a, b := int(ix.table[p]), int(ix.table[p+1])
+	w := ix.spline[a:b]
+	j := a + sort.Search(len(w), func(i int) bool { return w[i].Key > key })
 	if j == 0 {
 		j = 1
 	}
 	pos := pla.InterpolateSpline(ix.spline, j-1, key)
-	a := pos - ix.eps
-	b := pos + ix.eps + 1
-	if a < 0 {
-		a = 0
+	return pos - ix.eps, pos + ix.eps + 1, true
+}
+
+// GetBatch implements index.BatchGetter: the radix and spline stages
+// run per key (they touch the small table and spline arrays), then the
+// ±eps windows over the big key array — where the cache misses are —
+// resolve in interleaved lockstep.
+func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	for off := 0; off < len(keys); off += search.MaxLanes {
+		end := off + search.MaxLanes
+		if end > len(keys) {
+			end = len(keys)
+		}
+		var b search.Batch
+		for _, key := range keys[off:end] {
+			lo, hi, ok := ix.window(key)
+			if !ok {
+				b.Add(nil, key, 0, 0)
+				continue
+			}
+			b.Add(ix.keys, key, lo, hi)
+		}
+		b.Run()
+		for l := 0; l < b.Len(); l++ {
+			i := off + l
+			if !b.Found(l) {
+				vals[i], found[i] = 0, false
+				continue
+			}
+			found[i] = true
+			if ix.vals != nil {
+				vals[i] = ix.vals[b.Pos(l)]
+			} else {
+				vals[i] = 0
+			}
+		}
 	}
-	if b > n {
-		b = n
-	}
-	if a >= b {
-		return 0, false
-	}
-	win := ix.keys[a:b]
-	k := sort.Search(len(win), func(i int) bool { return win[i] >= key })
-	if k < len(win) && win[k] == key {
-		return a + k, true
-	}
-	return 0, false
 }
 
 // Scan visits entries with key >= start in ascending order.

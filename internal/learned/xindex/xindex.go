@@ -24,6 +24,7 @@ import (
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/search"
 )
 
 // Config controls group sizing and compaction.
@@ -61,8 +62,7 @@ type delta struct {
 }
 
 func (d *delta) search(key uint64) (int, bool) {
-	i := sort.Search(len(d.k), func(j int) bool { return d.k[j] >= key })
-	return i, i < len(d.k) && d.k[i] == key
+	return search.Find(d.k, key)
 }
 
 // upsert inserts or overwrites key.
@@ -97,20 +97,7 @@ func (gd *groupData) search(key uint64) (int, bool) {
 	}
 	s := pla.FindSegment(gd.segs, key)
 	p := s.Predict(key)
-	lo := p - s.MaxErr
-	hi := p + s.MaxErr + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(gd.keys) {
-		hi = len(gd.keys)
-	}
-	w := gd.keys[lo:hi]
-	j := sort.Search(len(w), func(i int) bool { return w[i] >= key })
-	if j < len(w) && w[j] == key {
-		return lo + j, true
-	}
-	return lo + j, false
+	return search.FindBounded(gd.keys, key, p-s.MaxErr, p+s.MaxErr+1)
 }
 
 type group struct {
@@ -159,16 +146,7 @@ func buildRoot(groups []*group) *root {
 // groupFor returns the group whose range contains key.
 func (r *root) groupFor(key uint64) *group {
 	p := r.model.Predict(key)
-	lo := p - r.model.MaxErr - 1
-	hi := p + r.model.MaxErr + 2
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(r.pivots) {
-		hi = len(r.pivots)
-	}
-	w := r.pivots[lo:hi]
-	j := lo + sort.Search(len(w), func(i int) bool { return w[i] > key })
+	j := search.UpperBound(r.pivots, key, p-r.model.MaxErr-1, p+r.model.MaxErr+2)
 	for j < len(r.pivots) && r.pivots[j] <= key {
 		j++
 	}
@@ -468,7 +446,7 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 }
 
 func groupIndex(r *root, key uint64) int {
-	j := sort.Search(len(r.pivots), func(i int) bool { return r.pivots[i] > key })
+	j := search.UpperBound(r.pivots, key, 0, len(r.pivots))
 	if j == 0 {
 		return 0
 	}

@@ -1,6 +1,6 @@
 package pla
 
-import "sort"
+import "learnedpieces/internal/search"
 
 // LSA-gap: the approximation algorithm of ALEX. Instead of passively
 // approximating the CDF of the stored keys, it first fits a least-squares
@@ -134,23 +134,31 @@ func (g *GappedNode) SlotOf(key uint64) (int, bool) {
 
 // lowerBound returns the leftmost slot whose key is >= key, using
 // exponential search from the model's prediction.
+//
+//pieces:hotpath
 func (g *GappedNode) lowerBound(key uint64) int {
-	return g.expSearch(key, func(k uint64) bool { return k >= key })
+	return g.expBound(key)
 }
 
-// expSearch returns the leftmost slot satisfying pred, where pred is
-// monotone (false...false true...true) over the sorted key array, using
-// exponential narrowing from the model's prediction.
-func (g *GappedNode) expSearch(key uint64, pred func(uint64) bool) int {
+// expBound returns the leftmost slot whose key is >= bound: exponential
+// window growth from the model's prediction (ALEX's method), finished by
+// the shared last-mile kernel. Both bound flavours reduce to it — the
+// strict (> key) bound is the weak bound of key+1 over uint64 keys.
+//
+//pieces:hotpath
+func (g *GappedNode) expBound(bound uint64) int {
 	n := len(g.Keys)
-	p := g.PredictSlot(key)
+	if n == 0 {
+		return 0
+	}
+	p := g.PredictSlot(bound)
 	var lo, hi int
-	if pred(g.Keys[p]) {
+	if g.Keys[p] >= bound {
 		// Answer is at or left of p: grow the window leftward.
 		hi = p + 1
 		lo = p
 		step := 1
-		for lo > 0 && pred(g.Keys[lo-1]) {
+		for lo > 0 && g.Keys[lo-1] >= bound {
 			lo -= step
 			if lo < 0 {
 				lo = 0
@@ -162,7 +170,7 @@ func (g *GappedNode) expSearch(key uint64, pred func(uint64) bool) int {
 		lo = p + 1
 		hi = p + 1
 		step := 1
-		for hi < n && !pred(g.Keys[hi]) {
+		for hi < n && g.Keys[hi] < bound {
 			lo = hi + 1
 			hi += step
 			if hi > n {
@@ -171,11 +179,10 @@ func (g *GappedNode) expSearch(key uint64, pred func(uint64) bool) int {
 			step <<= 1
 		}
 		if hi < n {
-			hi++ // include the slot that satisfied pred
+			hi++ // include the slot that satisfied the bound
 		}
 	}
-	w := g.Keys[lo:hi]
-	return lo + sort.Search(len(w), func(i int) bool { return pred(w[i]) })
+	return search.LowerBound(g.Keys, bound, lo, hi)
 }
 
 // Insert performs ALEX's model-based insert: place key in a gap between
@@ -243,8 +250,13 @@ func (g *GappedNode) Insert(key, value uint64) bool {
 
 // upperBound returns the leftmost slot with key strictly greater than
 // target (or Capacity()).
+//
+//pieces:hotpath
 func (g *GappedNode) upperBound(key uint64) int {
-	return g.expSearch(key, func(k uint64) bool { return k > key })
+	if key == ^uint64(0) {
+		return len(g.Keys)
+	}
+	return g.expBound(key + 1)
 }
 
 // place stores key at the gap slot `at` and refreshes the copies in the

@@ -1,55 +1,33 @@
 package pla
 
+import "learnedpieces/internal/search"
+
 // Final-mile search algorithms inside leaf nodes. The paper's related
 // work (§VI-A) lists the options benchmarked by SOSD: binary search,
 // bounded ("cardinal") binary search within the model's error band,
 // interpolation search, and the three-point interpolation of Van Sandt
 // et al. (SIGMOD'19). They are provided here both for the composed
-// indexes and for the BenchmarkAblationLeafSearch ablation.
+// indexes and for the BenchmarkAblationLeafSearch ablation. The plain
+// and bounded variants now dispatch through internal/search, so every
+// composed index inherits the branchless/linear/interpolated kernels
+// and the process-wide -searchkernel policy.
 
 // SearchBinary returns the index of key in the sorted slice, or
 // (insertion point, false).
+//
+//pieces:hotpath
 func SearchBinary(keys []uint64, key uint64) (int, bool) {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if keys[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(keys) && keys[lo] == key {
-		return lo, true
-	}
-	return lo, false
+	return search.Find(keys, key)
 }
 
 // SearchBounded is the bounded binary search every learned index uses:
-// binary search within [p-maxErr, p+maxErr] around the model prediction.
-// The window must be valid (the key's true position inside it) for a
+// search within [p-maxErr, p+maxErr] around the model prediction. The
+// window must be valid (the key's true position inside it) for a
 // present key to be found.
+//
+//pieces:hotpath
 func SearchBounded(keys []uint64, key uint64, p, maxErr int) (int, bool) {
-	lo := p - maxErr
-	hi := p + maxErr + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(keys) {
-		hi = len(keys)
-	}
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if keys[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(keys) && keys[lo] == key {
-		return lo, true
-	}
-	return lo, false
+	return search.FindBounded(keys, key, p-maxErr, p+maxErr+1)
 }
 
 // SearchExponential grows a window outward from the prediction p until

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"learnedpieces/internal/index"
+	"learnedpieces/internal/search"
 )
 
 // Default sampling rates, chosen so the enabled hot paths stay within
@@ -208,8 +209,11 @@ type Sink struct {
 	pmemProbe func() PMemSnapshot
 }
 
-// New returns an enabled sink.
+// New returns an enabled sink. Attaching a sink also switches on the
+// last-mile search kernel accounting — like the device probes, the
+// kernels only pay for counting while somebody is observing.
 func New() *Sink {
+	search.EnableStats(true)
 	return &Sink{
 		Store:   newStoreMetrics(),
 		indexes: make(map[string]IndexStats),

@@ -56,6 +56,20 @@ func (sn Snapshot) WriteText(w io.Writer) {
 	fmt.Fprintln(w)
 	pm.Render(w)
 
+	if len(sn.Search) > 0 {
+		sk := stats.NewTable("last-mile search (policy: "+sn.SearchKernel+")",
+			"kernel", "searches", "probes", "probes/search")
+		for _, ks := range sn.Search {
+			per := float64(0)
+			if ks.Searches > 0 {
+				per = float64(ks.Probes) / float64(ks.Searches)
+			}
+			sk.AddRow(ks.Kernel, ks.Searches, ks.Probes, fmt.Sprintf("%.2f", per))
+		}
+		fmt.Fprintln(w)
+		sk.Render(w)
+	}
+
 	if len(sn.Indexes) == 0 {
 		return
 	}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"learnedpieces/internal/search"
 )
 
 // OpSnapshot is the digest of one operation class: total ops, how many
@@ -82,6 +84,12 @@ type Snapshot struct {
 	Store       StoreSnapshot `json:"store"`
 	PMem        PMemSnapshot  `json:"pmem"`
 	Indexes     []IndexStats  `json:"indexes"`
+	// SearchKernel is the process-wide last-mile kernel policy
+	// (libench -searchkernel); Search carries the per-kernel search and
+	// probe counters. Both are process-global like the policy itself:
+	// every sink reports the same kernel state.
+	SearchKernel string               `json:"search_kernel"`
+	Search       []search.KernelStats `json:"search,omitempty"`
 }
 
 // Snapshot digests the sink. Recording may continue concurrently; the
@@ -123,7 +131,9 @@ func (s *Sink) Snapshot() Snapshot {
 			Compaction:    m.Compaction.snapshot(),
 			BulkLoad:      m.BulkLoad.snapshot(),
 		},
-		PMem: pm,
+		PMem:         pm,
+		SearchKernel: search.CurrentPolicy().String(),
+		Search:       search.StatsSnapshot(),
 	}
 	s.mu.Lock()
 	for _, st := range s.indexes {

@@ -104,34 +104,56 @@ func BenchmarkCompact(b *testing.B) {
 
 // BenchmarkMultiGet compares per-key Gets with the batched read path
 // that resolves the index first and reads PMem in offset order (ns/op is
-// per key in both cases).
+// per key in all sub-benchmarks). Each batch size runs twice: "keyloop"
+// disables the BatchGetter seam so MultiGet resolves the index key at a
+// time, "batch" is the interleaved batch kernel — the pair isolates
+// exactly what the lockstep search buys. The "dram" region injects no
+// device latency, so the index phase is visible; "pmem" is the paper's
+// Optane model, where the simulated stall dominates both paths equally.
 func BenchmarkMultiGet(b *testing.B) {
-	const n = 200_000
-	const batch = 256
+	const n = 1_000_000
 	keys := dataset.Generate(dataset.YCSBUniform, n, 1)
-	s := Open(pmem.NewRegion(128<<20, pmem.Optane()), rs.New(rs.DefaultConfig()))
-	if err := s.BulkPut(keys, benchValue()); err != nil {
-		b.Fatal(err)
-	}
 	stream := dataset.Generate(dataset.YCSBUniform, n, 1) // same keys, lookup order
-	b.Run("get", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, ok := s.Get(stream[i%n]); !ok {
-				b.Fatal("missing key")
-			}
-		}
-	})
-	b.Run(fmt.Sprintf("multiget-%d", batch), func(b *testing.B) {
-		buf := make([]uint64, batch)
-		for i := 0; i < b.N; i += batch {
-			base := i % (n - batch)
-			copy(buf, stream[base:base+batch])
-			vals := s.MultiGet(buf)
-			for _, v := range vals {
-				if v == nil {
-					b.Fatal("missing key")
+	runBatch := func(s *Store, batch int) func(b *testing.B) {
+		return func(b *testing.B) {
+			buf := make([]uint64, batch)
+			for i := 0; i < b.N; i += batch {
+				base := i % (n - batch)
+				copy(buf, stream[base:base+batch])
+				vals := s.MultiGet(buf)
+				for _, v := range vals {
+					if v == nil {
+						b.Fatal("missing key")
+					}
 				}
 			}
 		}
-	})
+	}
+	for _, mode := range []struct {
+		name string
+		lat  pmem.LatencyModel
+	}{{"dram", pmem.None()}, {"pmem", pmem.Optane()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := Open(pmem.NewRegion(512<<20, mode.lat), rs.New(rs.DefaultConfig()))
+			if err := s.BulkPut(keys, benchValue()); err != nil {
+				b.Fatal(err)
+			}
+			b.Run("get", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, ok := s.Get(stream[i%n]); !ok {
+						b.Fatal("missing key")
+					}
+				}
+			})
+			for _, batch := range []int{8, 64, 256} {
+				b.Run(fmt.Sprintf("keyloop-%d", batch), func(b *testing.B) {
+					saved := s.seam.Batch
+					s.seam.Batch = nil
+					defer func() { s.seam.Batch = saved }()
+					runBatch(s, batch)(b)
+				})
+				b.Run(fmt.Sprintf("batch-%d", batch), runBatch(s, batch))
+			}
+		})
+	}
 }

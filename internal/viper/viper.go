@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -298,24 +299,63 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 // ascending offset order. Separating the two phases amortises the
 // simulated NVM latency: offset-ordered reads maximise the device
 // block-buffer hit rate, where per-key Gets interleave index probes with
-// scattered record reads. out[i] is nil when keys[i] is absent or
-// deleted; returned slices alias the region and must not be modified.
-// MultiGet is as safe for concurrent use as Get.
+// scattered record reads. Indexes exposing the BatchGetter seam resolve
+// the index phase with interleaved last-mile searches (the batch's
+// cache misses overlap); the rest fall back to key-at-a-time Gets.
+// out[i] is nil when keys[i] is absent or deleted; returned slices
+// alias the region and must not be modified. MultiGet is as safe for
+// concurrent use as Get.
 func (s *Store) MultiGet(keys []uint64) [][]byte {
 	sp := s.met.StartMultiGet(len(keys))
 	defer sp.Done()
 	out := make([][]byte, len(keys))
-	type hit struct {
-		pos int
-		off int64
-	}
-	hits := make([]hit, 0, len(keys))
-	for i, k := range keys {
-		if off, ok := s.idx.Get(k); ok {
-			hits = append(hits, hit{i, int64(off)})
+	sc := mgPool.Get().(*mgScratch)
+	hits := sc.hits[:0]
+	if s.seam.Batch != nil {
+		if cap(sc.offs) < len(keys) {
+			sc.offs = make([]uint64, len(keys))
+			sc.found = make([]bool, len(keys))
+		}
+		offs, found := sc.offs[:len(keys)], sc.found[:len(keys)]
+		s.seam.Batch.GetBatch(keys, offs, found)
+		for i := range keys {
+			if found[i] {
+				hits = append(hits, hit{i, int64(offs[i])})
+			}
+		}
+	} else {
+		for i, k := range keys {
+			if off, ok := s.idx.Get(k); ok {
+				hits = append(hits, hit{i, int64(off)})
+			}
 		}
 	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a].off < hits[b].off })
+	// Small batches sort inline — an insertion sort over a handful of
+	// hits beats the generic sort's per-compare closure call. Larger
+	// batches use slices.SortFunc: unlike sort.Slice there is no
+	// reflective swap in this batch hot path.
+	if len(hits) <= 32 {
+		for i := 1; i < len(hits); i++ {
+			h := hits[i]
+			j := i - 1
+			for j >= 0 && hits[j].off > h.off {
+				hits[j+1] = hits[j]
+				j--
+			}
+			hits[j+1] = h
+		}
+	} else {
+		slices.SortFunc(hits, func(a, b hit) int {
+			switch {
+			case a.off < b.off:
+				return -1
+			case a.off > b.off:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
 	for _, h := range hits {
 		hdr := s.region.ReadNoCopy(h.off, recordHeader)
 		if hdr[12]&flagDeleted != 0 {
@@ -324,8 +364,29 @@ func (s *Store) MultiGet(keys []uint64) [][]byte {
 		vlen := binary.LittleEndian.Uint32(hdr[8:12])
 		out[h.pos] = s.region.ReadNoCopy(h.off+recordHeader, int(vlen))
 	}
+	sc.hits = hits[:0]
+	mgPool.Put(sc)
 	return out
 }
+
+// hit pairs a resolved key's batch position with its record offset so
+// the PMem phase of MultiGet can visit records in offset order.
+type hit struct {
+	pos int
+	off int64
+}
+
+// mgScratch holds MultiGet's per-call working state. Pooling it keeps
+// the batched read path allocation-free apart from the returned slice:
+// the index-phase offs/found buffers and the hit list are reused across
+// calls and goroutines.
+type mgScratch struct {
+	offs  []uint64
+	found []bool
+	hits  []hit
+}
+
+var mgPool = sync.Pool{New: func() interface{} { return new(mgScratch) }}
 
 // Delete removes key: a tombstone record is appended for recovery and
 // the key is dropped from the volatile index. Like Put, concurrent use
