@@ -25,6 +25,7 @@ import (
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/search"
 	"learnedpieces/internal/telemetry"
+	"learnedpieces/internal/viper"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		obs      = flag.String("obs", "", "serve expvar, pprof and /telemetry on this address (e.g. :6060)")
 		snapshot = flag.String("snapshot", "", "write the run's JSON telemetry snapshot to this file on exit")
 		kernel   = flag.String("searchkernel", "auto", "last-mile search kernel policy: auto|binary|branchless|interp")
+		retrain  = flag.String("retrain", "inline", "retrain pipeline mode for every store the harness opens: inline|sync|async")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -71,6 +73,10 @@ func main() {
 		fatalf(2, "-searchkernel must be one of auto|binary|branchless|interp, got %q", *kernel)
 	}
 	search.SetPolicy(pol)
+	rmode, ok := viper.ParseRetrainMode(*retrain)
+	if !ok {
+		fatalf(2, "-retrain must be one of inline|sync|async, got %q", *retrain)
+	}
 
 	parallel.SetWorkers(*workers)
 
@@ -99,6 +105,7 @@ func main() {
 	cfg.CSV = *csv
 	cfg.Batch = *batch
 	cfg.Ops = *ops
+	cfg.RetrainMode = rmode
 	cfg.Telemetry = sink
 	if cfg.Ops <= 0 {
 		cfg.Ops = *n

@@ -33,12 +33,18 @@ func main() {
 		size      = flag.Int("mem", 256<<20, "simulated PMem bytes")
 		latency   = flag.Bool("pmem", false, "simulate NVM latency")
 		obs       = flag.String("obs", "", "serve expvar, pprof and /telemetry on this address (e.g. :6060)")
+		retrainF  = flag.String("retrain", "inline", "retrain pipeline mode: inline|sync|async")
 	)
 	flag.Parse()
 
 	entry, ok := core.Lookup(*indexName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
+		os.Exit(2)
+	}
+	rmode, ok := viper.ParseRetrainMode(*retrainF)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "-retrain must be one of inline|sync|async, got %q\n", *retrainF)
 		os.Exit(2)
 	}
 	if *size <= 0 {
@@ -60,9 +66,11 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("observability on http://%s/telemetry (also /debug/vars, /debug/pprof)\n", *obs)
 	}
-	store := viper.Open(region, entry.New(), viper.WithTelemetry(sink))
-	fmt.Printf("viper store with %s index over %d MB simulated PMem\n", *indexName, *size>>20)
-	fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> <n> | len | stats | crash | recover | quit")
+	store := viper.Open(region, entry.New(),
+		viper.WithTelemetry(sink), viper.WithRetrainMode(rmode))
+	fmt.Printf("viper store with %s index over %d MB simulated PMem (retrain mode: %s)\n",
+		*indexName, *size>>20, *retrainF)
+	fmt.Println("commands: put <k> <v> | get <k> | del <k> | scan <start> <n> | len | stats | drain | crash | recover | quit")
 
 	// Store errors don't abort the shell (the session stays usable) but
 	// they must not be swallowed either: report on stderr and remember a
@@ -160,6 +168,9 @@ func main() {
 				reads, writes, flushes, region.Allocated(), region.Size())
 			fmt.Printf("sizes: index=%d index+key=%d index+KV=%d\n", st, wk, wkv)
 			sink.Snapshot().WriteText(os.Stdout)
+		case "drain":
+			store.DrainRetrains()
+			fmt.Println("retrain pipeline drained")
 		case "crash":
 			store.DropIndex(entry.New())
 			fmt.Println("DRAM index dropped; reads will miss until 'recover'")

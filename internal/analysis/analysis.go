@@ -15,6 +15,9 @@
 //     unsanctioned clock reads, locks, channels, defer and obvious
 //     allocation constructs.
 //   - unchecked-error: discarded error returns in non-test code.
+//   - probe-discipline: telemetry reporter methods (RetrainStats) never
+//     read a plain integer counter field the package also writes, since
+//     probes call them from the snapshot goroutine.
 //
 // Everything is built on the standard library only: go/parser for
 // syntax, go/types for semantics, and the stdlib source importer for
@@ -88,7 +91,7 @@ type Analyzer struct {
 	RunModule func(*ModulePass)
 }
 
-// Suite returns the five pieceslint analyzers in reporting order.
+// Suite returns the six pieceslint analyzers in reporting order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		CapsDiscipline,
@@ -96,6 +99,7 @@ func Suite() []*Analyzer {
 		AtomicDiscipline,
 		HotPath,
 		UncheckedError,
+		ProbeDiscipline,
 	}
 }
 

@@ -99,6 +99,7 @@ func TestGolden(t *testing.T) {
 		{"atomic-discipline", "atomic"},
 		{"hotpath", "hotpath"},
 		{"unchecked-error", "errcheck"},
+		{"probe-discipline", "probe"},
 	}
 	loader := testLoader(t)
 	for _, tc := range cases {
@@ -179,7 +180,7 @@ func TestRepoClean(t *testing.T) {
 
 // TestSuiteWiring pins the analyzer set and lookup.
 func TestSuiteWiring(t *testing.T) {
-	want := []string{"caps-discipline", "pmem-discipline", "atomic-discipline", "hotpath", "unchecked-error"}
+	want := []string{"caps-discipline", "pmem-discipline", "atomic-discipline", "hotpath", "unchecked-error", "probe-discipline"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,91 @@
+// Package probe exercises the probe-discipline analyzer: a telemetry
+// reporter method (RetrainStats) must not read a plain integer counter
+// field that the package also writes plainly, because the telemetry
+// sink's index probe calls reporters from the snapshot goroutine.
+// Atomic wrapper fields and lock-guarded reporters are sanctioned.
+package probe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// racy is the broken pattern this check exists for: plain counters
+// bumped on the write path and read bare by the reporter.
+type racy struct {
+	retrains  int64
+	retrainNs int64
+	busy      bool
+}
+
+func (ix *racy) Insert(k, v uint64) {
+	ix.retrains++
+	ix.retrainNs += int64(k)
+	ix.busy = true
+}
+
+func (ix *racy) RetrainStats() (int64, int64) {
+	n := ix.retrains   // want "plain counter field retrains"
+	ns := ix.retrainNs // want "plain counter field retrainNs"
+	if ix.busy {       // non-integer fields are outside this check's shape
+		return n, ns
+	}
+	return n, ns
+}
+
+// clean uses atomic wrappers: the reporter's loads are method calls on
+// struct-typed fields, which the check leaves alone.
+type clean struct {
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
+}
+
+func (ix *clean) Insert(k, v uint64) {
+	ix.retrains.Add(1)
+	ix.retrainNs.Add(int64(k))
+}
+
+func (ix *clean) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), ix.retrainNs.Load()
+}
+
+// guarded keeps plain counters but the reporter takes the same lock as
+// the write path, so it is skipped.
+type guarded struct {
+	mu       sync.Mutex
+	retrains int64
+}
+
+func (ix *guarded) Insert(k, v uint64) {
+	ix.mu.Lock()
+	ix.retrains++
+	ix.mu.Unlock()
+}
+
+func (ix *guarded) RetrainStats() (int64, int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.retrains, 0
+}
+
+// configured reads a plain integer field that is only set at
+// construction (composite literal), never assigned: immutable after
+// publication, so not a counter.
+type configured struct {
+	workers  int
+	retrains atomic.Int64
+}
+
+func NewConfigured(w int) *configured {
+	return &configured{workers: w}
+}
+
+func (ix *configured) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), int64(ix.workers)
+}
+
+// helper reads counters outside a reporter method; only RetrainStats
+// bodies are in scope.
+func (ix *racy) debugString() int64 {
+	return ix.retrains + ix.retrainNs
+}

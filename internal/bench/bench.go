@@ -47,6 +47,10 @@ type Config struct {
 	// Store.MultiGet in batches of this size instead of per-key Gets
 	// (amortises index lookups and reads PMem in offset order).
 	Batch int
+	// RetrainMode selects where index retrains run for every store the
+	// harness opens (libench -retrain). The retrain experiment sweeps
+	// modes itself and ignores this.
+	RetrainMode viper.RetrainMode
 	// CSV switches table output to CSV for plotting pipelines.
 	CSV bool
 	// Telemetry, when non-nil, attaches every store the harness builds
@@ -113,6 +117,7 @@ func All() []Experiment {
 		{"extlipp", "Extension: LIPP (§V-B1 unevaluated design) vs stock", RunExtLIPP},
 		{"extapex", "Extension: APEX persistent index vs Viper+ALEX", RunExtAPEX},
 		{"cross", "Extension: structure x approximation algorithm cross (§IV-C open question)", RunCross},
+		{"retrain", "Extension: background retraining: insert-heavy Put tail, sync vs async", RunRetrain},
 	}
 }
 
@@ -152,6 +157,9 @@ func (cfg Config) value() []byte {
 // storeOptions translates the config into viper.Open options.
 func (cfg Config) storeOptions() []viper.Option {
 	opts := []viper.Option{viper.WithValueSize(cfg.ValueSize)}
+	if cfg.RetrainMode != viper.RetrainInline {
+		opts = append(opts, viper.WithRetrainMode(cfg.RetrainMode))
+	}
 	if cfg.Telemetry != nil {
 		opts = append(opts, viper.WithTelemetry(cfg.Telemetry))
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"learnedpieces/internal/index"
@@ -270,8 +271,8 @@ type Composed struct {
 	firsts []uint64
 	length int
 
-	retrains  int64
-	retrainNs int64
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
 }
 
 var _ index.Index = (*Composed)(nil)
@@ -295,7 +296,7 @@ func (c *Composed) Len() int { return c.length }
 func (c *Composed) ConcurrentReads() bool { return true }
 
 // RetrainStats implements index.RetrainReporter.
-func (c *Composed) RetrainStats() (int64, int64) { return c.retrains, c.retrainNs }
+func (c *Composed) RetrainStats() (int64, int64) { return c.retrains.Load(), c.retrainNs.Load() }
 
 // LeafCount returns the current leaf count.
 func (c *Composed) LeafCount() int { return len(c.leaves) }
@@ -392,8 +393,8 @@ func (c *Composed) retrainLeaf(li int, l *Leaf, key, value uint64, keyIncluded b
 	next = append(next, repl...)
 	next = append(next, c.leaves[li+1:]...)
 	c.install(next)
-	c.retrains++
-	c.retrainNs += time.Since(start).Nanoseconds()
+	c.retrains.Add(1)
+	c.retrainNs.Add(time.Since(start).Nanoseconds())
 }
 
 // Delete removes key and reports whether it was present.

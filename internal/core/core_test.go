@@ -136,7 +136,7 @@ func TestApproximatorTradeoffs(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
+	if len(reg) != 15 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	learned := 0
@@ -156,8 +156,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Six paper designs (FITing-tree counted twice for inp/buf) plus the
-	// LIPP and FINEdex extensions.
-	if learned != 9 {
+	// LIPP, FINEdex, and delta-rebuild (rmi-delta, rs-delta) extensions.
+	if learned != 11 {
 		t.Fatalf("learned entries = %d", learned)
 	}
 	if _, ok := Lookup("alex"); !ok {

@@ -10,6 +10,7 @@ import (
 	"learnedpieces/internal/learned/fitting"
 	"learnedpieces/internal/learned/lipp"
 	"learnedpieces/internal/learned/pgm"
+	"learnedpieces/internal/learned/rebuild"
 	"learnedpieces/internal/learned/rmi"
 	"learnedpieces/internal/learned/rs"
 	"learnedpieces/internal/learned/xindex"
@@ -56,6 +57,30 @@ func Registry() []Entry {
 			Approximation: "one-pass spline",
 			Insertion:     "-", Retraining: "-",
 			New: func() index.Index { return rs.New(rs.DefaultConfig()) },
+		},
+		{
+			Name: "rmi-delta", Learned: true,
+			InnerNode: "linear models", LeafNode: "linear", Error: "unfixed",
+			Approximation: "machine learning (2-stage linear)",
+			Insertion:     "delta buffer", Retraining: "full rebuild",
+			// Extension: RMI made updatable via the rebuild wrapper — the
+			// paper's "retrain the whole index" strategy for structures
+			// without an insertion path.
+			New: func() index.Index {
+				return rebuild.New("rmi-delta", rebuild.DefaultConfig(),
+					func() rebuild.Inner { return rmi.New(rmi.DefaultConfig()) })
+			},
+		},
+		{
+			Name: "rs-delta", Learned: true,
+			InnerNode: "radix table", LeafNode: "spline", Error: "maximum",
+			Approximation: "one-pass spline",
+			Insertion:     "delta buffer", Retraining: "full rebuild",
+			// Extension: RadixSpline made updatable via the rebuild wrapper.
+			New: func() index.Index {
+				return rebuild.New("rs-delta", rebuild.DefaultConfig(),
+					func() rebuild.Inner { return rs.New(rs.DefaultConfig()) })
+			},
 		},
 		{
 			Name: "fiting-inp", Learned: true,

@@ -29,6 +29,9 @@ type Caps struct {
 	Depth bool
 	// Retrain: retraining counters (Fig 18) are available.
 	Retrain bool
+	// AsyncRetrain: retraining can run on a background pool
+	// (SetRetrainPool / DrainRetrains).
+	AsyncRetrain bool
 	// ConcurrentReads: concurrent Gets are safe.
 	ConcurrentReads bool
 	// ConcurrentWrites: concurrent Inserts (and Gets) are safe.
@@ -58,6 +61,7 @@ func CapsOf(idx Index) Caps {
 	_, caps.Sized = idx.(Sized)
 	_, caps.Depth = idx.(DepthReporter)
 	_, caps.Retrain = idx.(RetrainReporter)
+	_, caps.AsyncRetrain = idx.(AsyncRetrainer)
 	if r, ok := idx.(ConcurrentReads); ok {
 		caps.ConcurrentReads = r.ConcurrentReads()
 	}

@@ -4,7 +4,11 @@
 // uniformly — the precondition for the paper's "fair environment".
 package index
 
-import "errors"
+import (
+	"errors"
+
+	"learnedpieces/internal/retrain"
+)
 
 // ErrReadOnly is returned by Insert on indexes that do not support
 // updates (RMI, RadixSpline).
@@ -87,6 +91,23 @@ type DepthReporter interface {
 // in nanoseconds.
 type RetrainReporter interface {
 	RetrainStats() (count int64, totalNs int64)
+}
+
+// AsyncRetrainer is implemented by indexes that can run retraining
+// (segment merges, node expands, group compaction, full rebuilds) on a
+// background pool instead of the inserting goroutine.
+//
+// SetRetrainPool attaches the pool; it must be called before the index
+// serves concurrent operations (typically right after construction or
+// recovery). A nil pool restores plain inline retraining. DrainRetrains
+// blocks until every retrain visible to the caller has been applied:
+// pending background work has finished AND — for indexes with a
+// single-writer contract — its results have been installed, so a
+// subsequent Get observes the retrained structure. Like writes, it must
+// be called from the writer's timeline on single-writer indexes.
+type AsyncRetrainer interface {
+	SetRetrainPool(p *retrain.Pool)
+	DrainRetrains()
 }
 
 // ConcurrentReads marks indexes whose Get is safe to call concurrently

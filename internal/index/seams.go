@@ -11,11 +11,12 @@ package index
 // (cmd/pieceslint) forbids raw assertions outside this package, which
 // keeps Caps the single source of truth about what an index can do.
 type Seam struct {
-	Upsert Upserter
-	Delete Deleter
-	Scan   Scanner
-	Bulk   Bulk
-	Batch  BatchGetter
+	Upsert       Upserter
+	Delete       Deleter
+	Scan         Scanner
+	Bulk         Bulk
+	Batch        BatchGetter
+	AsyncRetrain AsyncRetrainer
 }
 
 // Seams resolves idx's hot-path dispatch surface. This is the one
@@ -28,6 +29,7 @@ func Seams(idx Index) Seam {
 	s.Scan, _ = idx.(Scanner)
 	s.Bulk, _ = idx.(Bulk)
 	s.Batch, _ = idx.(BatchGetter)
+	s.AsyncRetrain, _ = idx.(AsyncRetrainer)
 	return s
 }
 

@@ -1,0 +1,150 @@
+package indextest
+
+import (
+	"math/rand"
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/retrain"
+)
+
+// RunAsyncEquivalence checks the index.AsyncRetrainer contract as a
+// property: the same operation sequence applied with no pool, with a
+// zero-worker (sync) pool, and with a background pool must read back
+// identically once DrainRetrains has run. The async variant interleaves
+// reads with the writes, so under -race this also exercises the
+// readers-never-block claim against the background builders.
+func RunAsyncEquivalence(t *testing.T, name string, f Factory) {
+	if _, ok := f().(index.AsyncRetrainer); !ok {
+		t.Skipf("%s does not implement index.AsyncRetrainer", name)
+	}
+	const n = 12000
+	keys := dataset.Generate(dataset.YCSBNormal, n, 41)
+	load, stream := dataset.Split(keys, n/3)
+	shuffled := dataset.Shuffled(stream, 42)
+
+	// run applies the canonical sequence: bulk load, an insert phase with
+	// interleaved overwrites, deletes and point reads, then a drain.
+	run := func(t *testing.T, idx index.Index, pool *retrain.Pool) map[uint64]uint64 {
+		t.Helper()
+		if pool != nil {
+			idx.(index.AsyncRetrainer).SetRetrainPool(pool)
+		}
+		if err := idx.(index.Bulk).BulkLoad(load, load); err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[uint64]uint64, n)
+		for _, k := range load {
+			want[k] = k
+		}
+		del, _ := idx.(index.Deleter)
+		rng := rand.New(rand.NewSource(43))
+		for i, k := range shuffled {
+			if err := idx.Insert(k, k^5); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = k ^ 5
+			switch i % 97 {
+			case 13: // overwrite an already-present key
+				ok := load[rng.Intn(len(load))]
+				if err := idx.Insert(ok, ok^9); err != nil {
+					t.Fatal(err)
+				}
+				want[ok] = ok ^ 9
+			case 31: // delete a loaded key
+				if del != nil {
+					dk := load[rng.Intn(len(load))]
+					del.Delete(dk)
+					delete(want, dk)
+				}
+			case 59: // read mid-stream: frozen layers must stay visible
+				rk := shuffled[rng.Intn(i+1)]
+				if wv, live := want[rk]; live {
+					if v, ok := idx.Get(rk); !ok || v != wv {
+						t.Fatalf("mid-stream get(%d) = %d,%v want %d", rk, v, ok, wv)
+					}
+				}
+			}
+		}
+		if pool != nil {
+			idx.(index.AsyncRetrainer).DrainRetrains()
+		}
+		return want
+	}
+
+	check := func(t *testing.T, idx index.Index, want map[uint64]uint64) {
+		t.Helper()
+		if idx.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", idx.Len(), len(want))
+		}
+		for k, wv := range want {
+			if v, ok := idx.Get(k); !ok || v != wv {
+				t.Fatalf("get(%d) = %d,%v want %d", k, v, ok, wv)
+			}
+		}
+		if bg, ok := idx.(index.BatchGetter); ok {
+			vals := make([]uint64, len(keys))
+			found := make([]bool, len(keys))
+			bg.GetBatch(keys, vals, found)
+			for i, k := range keys {
+				wv, live := want[k]
+				if found[i] != live || (live && vals[i] != wv) {
+					t.Fatalf("batch get(%d) = %d,%v want %d,%v", k, vals[i], found[i], wv, live)
+				}
+			}
+		}
+		if sc, ok := idx.(index.Scanner); ok && index.CapsOf(idx).Scan {
+			seen := 0
+			prev := uint64(0)
+			sc.Scan(0, 0, func(k, v uint64) bool {
+				if seen > 0 && k <= prev {
+					t.Fatalf("scan out of order: %d after %d", k, prev)
+				}
+				prev = k
+				if wv, live := want[k]; !live || v != wv {
+					t.Fatalf("scan visited %d=%d, want %d (live=%v)", k, v, wv, live)
+				}
+				seen++
+				return true
+			})
+			if seen != len(want) {
+				t.Fatalf("scan visited %d entries, want %d", seen, len(want))
+			}
+		}
+	}
+
+	t.Run(name+"/inline", func(t *testing.T) {
+		idx := f()
+		check(t, idx, run(t, idx, nil))
+	})
+	t.Run(name+"/sync-pool", func(t *testing.T) {
+		pool := retrain.NewPool(0, 0)
+		defer pool.Close()
+		idx := f()
+		check(t, idx, run(t, idx, pool))
+	})
+	t.Run(name+"/async-pool", func(t *testing.T) {
+		pool := retrain.NewPool(2, 16) // small queue: overflow falls back inline
+		defer pool.Close()
+		idx := f()
+		check(t, idx, run(t, idx, pool))
+	})
+	t.Run(name+"/async-bulkload-invalidate", func(t *testing.T) {
+		// A BulkLoad racing a pending retrain must win: the stale deposit
+		// is generation-checked away.
+		pool := retrain.NewPool(1, 16)
+		defer pool.Close()
+		idx := f()
+		run(t, idx, pool)
+		if err := idx.(index.Bulk).BulkLoad(load, load); err != nil {
+			t.Fatal(err)
+		}
+		idx.(index.AsyncRetrainer).DrainRetrains()
+		want := make(map[uint64]uint64, len(load))
+		for _, k := range load {
+			want[k] = k
+		}
+		check(t, idx, want)
+	})
+}

@@ -20,10 +20,12 @@ package alex
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/retrain"
 )
 
 // Config controls node sizing and densities.
@@ -98,6 +100,13 @@ func (in *innerNode) keyAtSlot(s int) (uint64, bool) {
 type dataNode struct {
 	g          *pla.GappedNode
 	next, prev *dataNode
+	// gen counts foreground replacements of g; a background expand built
+	// from an older generation is stale and its deposit is dropped.
+	gen uint64
+	// retraining marks a node whose expand is in flight on the pool. The
+	// node stays writable through its gapped array meanwhile; writes are
+	// op-logged and replayed into the rebuilt array at install.
+	retraining bool
 }
 
 // Index is the ALEX index.
@@ -107,10 +116,38 @@ type Index struct {
 	head   *dataNode // leftmost data node, for scans
 	length int
 
-	retrains  int64
-	retrainNs int64
-	expands   int64
-	splits    int64
+	// Background retraining (index.AsyncRetrainer) covers the *expand*
+	// path only: a dense node's rebuild-at-lower-density runs on the
+	// pool against a foreground snapshot and is installed on the writer
+	// timeline. Splits keep running on the inserting goroutine — they
+	// restructure the tree through the descent path, which a background
+	// goroutine must not touch (the deferred-expand caveat).
+	pool  *retrain.Pool
+	gen   uint64 // bumped when pending deposits become invalid (BulkLoad)
+	inbox retrain.Inbox[deposit]
+	oplog []wop
+
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
+	expands   atomic.Int64
+	splits    atomic.Int64
+}
+
+// deposit is one finished background expand: a replacement gapped array
+// for d, tagged with the generations the snapshot was taken under.
+type deposit struct {
+	d       *dataNode
+	gen     uint64
+	nodeGen uint64
+	g       *pla.GappedNode
+}
+
+// wop is one op-logged write against a retraining data node.
+type wop struct {
+	d   *dataNode
+	key uint64
+	val uint64
+	del bool
 }
 
 // New returns an empty ALEX index.
@@ -131,10 +168,29 @@ func (ix *Index) Len() int { return ix.length }
 func (ix *Index) ConcurrentReads() bool { return true }
 
 // RetrainStats implements index.RetrainReporter.
-func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+func (ix *Index) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), ix.retrainNs.Load()
+}
 
 // ExpandSplitCounts reports the two retraining actions separately.
-func (ix *Index) ExpandSplitCounts() (expands, splits int64) { return ix.expands, ix.splits }
+func (ix *Index) ExpandSplitCounts() (expands, splits int64) {
+	return ix.expands.Load(), ix.splits.Load()
+}
+
+// SetRetrainPool implements index.AsyncRetrainer: subsequent node
+// expands rebuild their gapped arrays on the pool.
+func (ix *Index) SetRetrainPool(p *retrain.Pool) { ix.pool = p }
+
+// DrainRetrains implements index.AsyncRetrainer: wait for in-flight
+// expands and install them. Must run on the writer timeline.
+func (ix *Index) DrainRetrains() {
+	for {
+		ix.pool.Drain()
+		if !ix.installDeposits() {
+			return
+		}
+	}
+}
 
 func (ix *Index) setRoot(n interface{}) {
 	ix.root = n
@@ -158,6 +214,8 @@ func (ix *Index) newDataNode(keys, vals []uint64) *dataNode {
 
 // BulkLoad builds the asymmetric tree over sorted distinct keys.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.gen++ // pending expand deposits target nodes that no longer exist
+	ix.oplog = nil
 	ix.length = len(keys)
 	if values == nil {
 		values = make([]uint64, len(keys))
@@ -356,11 +414,13 @@ const batchLanes = 16
 // method handles the tree plumbing: descent, density-triggered
 // retraining, and retry after an expand/split made room.
 func (ix *Index) Insert(key, value uint64) error {
+	ix.installDeposits()
 	for {
 		var path []pathEntry
 		d := ix.descend(key, &path)
 		if slot, ok := d.g.SlotOf(key); ok {
 			d.g.Values[slot] = value
+			ix.logOp(d, key, value, false)
 			return nil
 		}
 		if d.g.Capacity() == 0 {
@@ -370,39 +430,168 @@ func (ix *Index) Insert(key, value uint64) error {
 		}
 		if d.g.Insert(key, value) {
 			ix.length++
+			ix.logOp(d, key, value, false)
 			if float64(d.g.NumKeys)/float64(d.g.Capacity()) >= ix.cfg.UpperDensity {
-				ix.retrain(d, path)
+				ix.maybeRetrain(d, path)
 			}
 			return nil
 		}
-		// Completely full: retrain (expand or split), then retry.
+		// Completely full: retrain (expand or split), then retry. This
+		// runs inline even in async mode — the node has no gap left, so
+		// the next attempt needs the new array now. An in-flight expand
+		// for this node is invalidated by the generation bump.
 		ix.retrain(d, path)
 	}
+}
+
+// maybeRetrain routes a density-triggered retrain: inline when no pool
+// is attached or the node is past the split threshold, to the pool when
+// a plain expand suffices and none is already in flight.
+func (ix *Index) maybeRetrain(d *dataNode, path []pathEntry) {
+	if ix.pool == nil {
+		ix.retrain(d, path)
+		return
+	}
+	if d.retraining {
+		return
+	}
+	if d.g.NumKeys > ix.cfg.MaxLeafKeys {
+		ix.retrain(d, path)
+		return
+	}
+	ix.scheduleExpand(d)
+}
+
+// scheduleExpand snapshots d's live entries on the foreground and hands
+// the model fit + gapped rebuild to the pool. The node stays writable;
+// installDeposits swaps the new array in and replays op-logged writes.
+func (ix *Index) scheduleExpand(d *dataNode) {
+	d.retraining = true
+	keys, vals := snapshotNode(d.g)
+	gen, nodeGen := ix.gen, d.gen
+	ix.pool.Submit(d, func() {
+		start := time.Now()
+		g := pla.BuildLSAGap(keys, vals, 0.6)
+		ix.expands.Add(1)
+		ix.retrains.Add(1)
+		ix.retrainNs.Add(time.Since(start).Nanoseconds())
+		ix.inbox.Put(deposit{d: d, gen: gen, nodeGen: nodeGen, g: g})
+	})
+	ix.installDeposits()
+}
+
+// installDeposits applies finished background expands on the writer
+// timeline. Stale deposits — the index was bulk-loaded or the node was
+// retrained inline since the snapshot — are dropped. Reports whether
+// any deposit was taken.
+func (ix *Index) installDeposits() bool {
+	deps := ix.inbox.TakeAll()
+	if len(deps) == 0 {
+		return false
+	}
+	for _, dep := range deps {
+		if dep.gen != ix.gen || dep.nodeGen != dep.d.gen {
+			continue
+		}
+		d := dep.d
+		d.g = dep.g
+		d.retraining = false
+		for _, op := range ix.takeOplog(d) {
+			ix.replay(d, op)
+		}
+	}
+	return true
+}
+
+// replay applies one op-logged write to a freshly installed array. The
+// array was built at 0.6 density from a snapshot taken moments ago, so
+// insert failure is rare; when it happens the node is rebuilt inline
+// with the key folded in (oversized nodes are split by the next
+// foreground trigger).
+func (ix *Index) replay(d *dataNode, op wop) {
+	if op.del {
+		if slot, ok := d.g.SlotOf(op.key); ok {
+			d.g.Remove(slot)
+		}
+		return
+	}
+	if slot, ok := d.g.SlotOf(op.key); ok {
+		d.g.Values[slot] = op.val
+		return
+	}
+	if d.g.Insert(op.key, op.val) {
+		return
+	}
+	keys, vals := snapshotNode(d.g)
+	at := sort.Search(len(keys), func(i int) bool { return keys[i] >= op.key })
+	keys = append(keys, 0)
+	vals = append(vals, 0)
+	copy(keys[at+1:], keys[at:])
+	copy(vals[at+1:], vals[at:])
+	keys[at], vals[at] = op.key, op.val
+	d.g = pla.BuildLSAGap(keys, vals, 0.6)
+	d.gen++
+	ix.expands.Add(1)
+	ix.retrains.Add(1)
+}
+
+// logOp records a write against a retraining node for replay at install.
+func (ix *Index) logOp(d *dataNode, key, val uint64, del bool) {
+	if !d.retraining {
+		return
+	}
+	ix.oplog = append(ix.oplog, wop{d: d, key: key, val: val, del: del})
+}
+
+// takeOplog removes and returns d's op-log entries, preserving order
+// for other nodes.
+func (ix *Index) takeOplog(d *dataNode) []wop {
+	var mine, rest []wop
+	for _, op := range ix.oplog {
+		if op.d == d {
+			mine = append(mine, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	ix.oplog = rest
+	return mine
+}
+
+// snapshotNode copies a gapped node's live entries in key order.
+func snapshotNode(g *pla.GappedNode) (keys, vals []uint64) {
+	keys = make([]uint64, 0, g.NumKeys)
+	vals = make([]uint64, 0, g.NumKeys)
+	for i, used := range g.Used {
+		if used {
+			keys = append(keys, g.Keys[i])
+			vals = append(vals, g.Values[i])
+		}
+	}
+	return keys, vals
 }
 
 // retrain expands or splits a data node that exceeded its density bound.
 func (ix *Index) retrain(d *dataNode, path []pathEntry) {
 	start := time.Now()
-	keys := make([]uint64, 0, d.g.NumKeys)
-	vals := make([]uint64, 0, d.g.NumKeys)
-	for i, used := range d.g.Used {
-		if used {
-			keys = append(keys, d.g.Keys[i])
-			vals = append(vals, d.g.Values[i])
-		}
+	d.gen++ // invalidate any in-flight background expand of this node
+	if d.retraining {
+		d.retraining = false
+		ix.takeOplog(d) // the live array already holds these writes
 	}
+	keys, vals := snapshotNode(d.g)
 	if len(keys) <= ix.cfg.MaxLeafKeys {
 		// Expand: rebuild at the lower density bound (ALEX's 0.6) with a
 		// fresh model, buying UpperDensity-0.6 of the capacity in future
 		// gap inserts per retrain.
 		d.g = pla.BuildLSAGap(keys, vals, 0.6)
-		ix.expands++
+		ix.expands.Add(1)
 	} else {
 		ix.split(d, keys, vals, path)
-		ix.splits++
+		ix.splits.Add(1)
 	}
-	ix.retrains++
-	ix.retrainNs += time.Since(start).Nanoseconds()
+	ix.retrains.Add(1)
+	ix.retrainNs.Add(time.Since(start).Nanoseconds())
 }
 
 // split divides an over-full data node. When the node owns more than one
@@ -483,6 +672,7 @@ func relinkTail(tail, next *dataNode) {
 // contracted (ALEX's lower-density contraction is omitted; gaps left by
 // deletes are reused by later inserts).
 func (ix *Index) Delete(key uint64) bool {
+	ix.installDeposits()
 	d := ix.descend(key, nil)
 	slot, ok := d.g.SlotOf(key)
 	if !ok {
@@ -490,6 +680,7 @@ func (ix *Index) Delete(key uint64) bool {
 	}
 	d.g.Remove(slot)
 	ix.length--
+	ix.logOp(d, key, 0, true)
 	return true
 }
 

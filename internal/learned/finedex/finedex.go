@@ -21,6 +21,7 @@ import (
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/retrain"
 	"learnedpieces/internal/search"
 )
 
@@ -66,14 +67,15 @@ type bin struct {
 
 // segment is one model over an immutable base run plus its bin tree.
 type segment struct {
-	firstKey  uint64
-	slope     float64
-	intercept float64
-	maxErr    int
-	keys      []uint64 // immutable base
-	vals      []uint64
-	root      *bin
-	binKeys   atomic.Int64 // live entries absorbed by bins
+	firstKey   uint64
+	slope      float64
+	intercept  float64
+	maxErr     int
+	keys       []uint64 // immutable base
+	vals       []uint64
+	root       *bin
+	binKeys    atomic.Int64 // live entries absorbed by bins
+	retraining atomic.Bool  // a retrain for this segment is in flight
 }
 
 type table struct {
@@ -87,6 +89,7 @@ type Index struct {
 	structMu sync.RWMutex // guards tab swaps (retraining)
 	tab      atomic.Pointer[table]
 	length   atomic.Int64
+	pool     *retrain.Pool // nil: segment retrains run on the inserting goroutine
 
 	retrains  atomic.Int64
 	retrainNs atomic.Int64
@@ -119,12 +122,27 @@ func (ix *Index) RetrainStats() (int64, int64) {
 	return ix.retrains.Load(), ix.retrainNs.Load()
 }
 
-// BulkLoad builds error-bounded models over sorted distinct keys.
+// SetRetrainPool implements index.AsyncRetrainer: subsequent segment
+// retrains run on the pool. Must be called before the index serves
+// concurrent operations.
+func (ix *Index) SetRetrainPool(p *retrain.Pool) { ix.pool = p }
+
+// DrainRetrains implements index.AsyncRetrainer. Segment retrains
+// install their own results under the structure lock, so waiting for
+// the pool is enough.
+func (ix *Index) DrainRetrains() { ix.pool.Drain() }
+
+// BulkLoad builds error-bounded models over sorted distinct keys. The
+// structure lock excludes an in-flight background retrain, whose
+// install then aborts because its segment is gone from the new table.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
 	if values == nil {
 		values = make([]uint64, len(keys))
 	}
-	ix.tab.Store(buildTable(keys, values, ix.cfg.Eps))
+	t := buildTable(keys, values, ix.cfg.Eps)
+	ix.structMu.Lock()
+	ix.tab.Store(t)
+	ix.structMu.Unlock()
 	ix.length.Store(int64(len(keys)))
 	return nil
 }
@@ -301,8 +319,11 @@ func (ix *Index) upsert(key, value uint64, dead bool) bool {
 	}
 	needRetrain := int(seg.binKeys.Load()) > len(seg.keys)/2+4*ix.cfg.BinCap
 	ix.structMu.RUnlock()
-	if needRetrain {
-		ix.retrainSegment(seg)
+	// The retraining flag admits one retrain per segment lifetime: the
+	// rebuilt replacements start fresh, and the flag also keeps the
+	// pool's coalescing from ever being asked to drop a duplicate.
+	if needRetrain && seg.retraining.CompareAndSwap(false, true) {
+		ix.pool.Submit(seg, func() { ix.retrainSegment(seg) })
 	}
 	return wasLive
 }
@@ -360,8 +381,29 @@ func binDepth(b *bin, key uint64, limit int) int {
 
 // retrainSegment merges a segment's base with its bins and re-segments,
 // swapping the new segments into a fresh table ("retrain one segment").
+//
+// The expensive work — walking the bins and training the replacement
+// models — runs without the structure lock, so concurrent readers and
+// writers proceed against the old segment while the replacement is
+// built aside (on a background worker in async mode). Only the install
+// takes the lock, and first replays the writes that landed in the bins
+// while the models were training.
 func (ix *Index) retrainSegment(old *segment) {
 	start := time.Now()
+	// Build aside: the base is immutable and the overlay walk takes the
+	// bin locks, so no structure lock is needed here.
+	ovA := old.overlay()
+	keys, vals := mergeBase(old, ovA)
+	var repl *table
+	if len(keys) > 0 {
+		repl = buildTable(keys, vals, ix.cfg.Eps)
+	} else {
+		repl = &table{
+			firsts: []uint64{old.firstKey},
+			segs:   []*segment{{firstKey: old.firstKey, root: &bin{}}},
+		}
+	}
+
 	ix.structMu.Lock()
 	defer ix.structMu.Unlock()
 	cur := ix.tab.Load()
@@ -373,23 +415,30 @@ func (ix *Index) retrainSegment(old *segment) {
 		}
 	}
 	if pos < 0 {
-		return // someone else already retrained it
+		return // the table was rebuilt underneath us; nothing to install
 	}
-	keys, vals := old.merged()
-	repl := buildTable(keys, vals, ix.cfg.Eps)
+	// Catch up: writes that raced with the build are still in old's
+	// bins. Bins only grow, so the snapshot's keys are a prefix-set of
+	// the current overlay; apply every entry that is new or changed.
+	ovC := old.overlay()
+	ai := 0
+	for _, e := range ovC {
+		for ai < len(ovA) && ovA[ai].k < e.k {
+			ai++
+		}
+		if ai < len(ovA) && ovA[ai] == e {
+			continue // unchanged since the snapshot; already in the rebuild
+		}
+		ix.binApply(repl.locate(e.k), e)
+	}
 	nt := &table{
 		firsts: make([]uint64, 0, len(cur.firsts)+len(repl.firsts)-1),
 		segs:   make([]*segment, 0, len(cur.segs)+len(repl.segs)-1),
 	}
 	nt.firsts = append(nt.firsts, cur.firsts[:pos]...)
 	nt.segs = append(nt.segs, cur.segs[:pos]...)
-	if len(keys) > 0 {
-		nt.firsts = append(nt.firsts, repl.firsts...)
-		nt.segs = append(nt.segs, repl.segs...)
-	} else {
-		nt.firsts = append(nt.firsts, old.firstKey)
-		nt.segs = append(nt.segs, &segment{firstKey: old.firstKey, root: &bin{}})
-	}
+	nt.firsts = append(nt.firsts, repl.firsts...)
+	nt.segs = append(nt.segs, repl.segs...)
 	nt.firsts = append(nt.firsts, cur.firsts[pos+1:]...)
 	nt.segs = append(nt.segs, cur.segs[pos+1:]...)
 	// Keep the table's floor invariant: the first boundary must not rise.
@@ -401,13 +450,45 @@ func (ix *Index) retrainSegment(old *segment) {
 	ix.retrainNs.Add(time.Since(start).Nanoseconds())
 }
 
-// merged returns the segment's live entries (base shadowed by bins).
-func (s *segment) merged() ([]uint64, []uint64) {
-	type kv struct {
-		k, v uint64
-		dead bool
+// binApply writes one overlay entry into seg's bin tree, preserving its
+// dead flag. Used by the retrain catch-up replay; the caller holds the
+// structure lock, so the bin locks taken by descend are uncontended.
+func (ix *Index) binApply(seg *segment, e binEntry) {
+	b := descend(seg.root, e.k)
+	i := search.LowerBound(b.k, e.k, 0, len(b.k))
+	if i < len(b.k) && b.k[i] == e.k {
+		b.v[i] = e.v
+		b.dead[i] = e.dead
+	} else {
+		b.k = append(b.k, 0)
+		b.v = append(b.v, 0)
+		b.dead = append(b.dead, false)
+		copy(b.k[i+1:], b.k[i:])
+		copy(b.v[i+1:], b.v[i:])
+		copy(b.dead[i+1:], b.dead[i:])
+		b.k[i] = e.k
+		b.v[i] = e.v
+		b.dead[i] = e.dead
+		seg.binKeys.Add(1)
 	}
-	var overlay []kv
+	if len(b.k) >= ix.cfg.BinCap {
+		ix.splitBin(seg, b, e.k)
+	}
+	b.mu.Unlock()
+}
+
+// binEntry is one overlay entry: a key absorbed by the bins, possibly a
+// tombstone shadowing the base.
+type binEntry struct {
+	k, v uint64
+	dead bool
+}
+
+// overlay returns the segment's bin entries sorted by key (keys are
+// unique across the bin tree: the pivots route each key to exactly one
+// leaf). Safe concurrent with writers — each bin is read under its lock.
+func (s *segment) overlay() []binEntry {
+	var overlay []binEntry
 	var walk func(b *bin)
 	walk = func(b *bin) {
 		b.mu.Lock()
@@ -419,11 +500,17 @@ func (s *segment) merged() ([]uint64, []uint64) {
 			return
 		}
 		for i := range b.k {
-			overlay = append(overlay, kv{b.k[i], b.v[i], b.dead[i]})
+			overlay = append(overlay, binEntry{b.k[i], b.v[i], b.dead[i]})
 		}
 	}
 	walk(s.root)
 	sort.Slice(overlay, func(i, j int) bool { return overlay[i].k < overlay[j].k })
+	return overlay
+}
+
+// mergeBase merges the segment's immutable base with an overlay,
+// dropping tombstoned keys.
+func mergeBase(s *segment, overlay []binEntry) ([]uint64, []uint64) {
 	keys := make([]uint64, 0, len(s.keys)+len(overlay))
 	vals := make([]uint64, 0, len(s.keys)+len(overlay))
 	bi, oi := 0, 0
@@ -449,6 +536,11 @@ func (s *segment) merged() ([]uint64, []uint64) {
 		}
 	}
 	return keys, vals
+}
+
+// merged returns the segment's live entries (base shadowed by bins).
+func (s *segment) merged() ([]uint64, []uint64) {
+	return mergeBase(s, s.overlay())
 }
 
 // Scan visits live entries with key >= start in ascending order (not

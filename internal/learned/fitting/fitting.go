@@ -13,11 +13,13 @@
 package fitting
 
 import (
+	"sync/atomic"
 	"time"
 
 	"learnedpieces/internal/btree"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/retrain"
 	"learnedpieces/internal/search"
 )
 
@@ -77,6 +79,11 @@ type segLeaf struct {
 	// Buffer mode: sorted side buffer.
 	bufK []uint64
 	bufV []uint64
+	// retraining marks a leaf whose rebuild is in flight on the pool.
+	// The leaf stays fully writable meanwhile (the buffer grows past
+	// Reserve, in-place inserts regrow the slice); writes that land here
+	// are op-logged and replayed into the replacement leaves at install.
+	retraining bool
 }
 
 func (l *segLeaf) predict(key uint64) int {
@@ -114,8 +121,35 @@ type Index struct {
 	leaves []*segLeaf
 	length int
 
-	retrains  int64
-	retrainNs int64
+	// Background retraining (index.AsyncRetrainer): the segmentation and
+	// leaf construction run on the pool against a foreground snapshot;
+	// results are deposited in the inbox and installed on the writer's
+	// timeline (this index has a single-writer contract, so background
+	// goroutines never touch the live structure). The op-log records
+	// writes that hit a retraining leaf between snapshot and install.
+	pool  *retrain.Pool
+	gen   uint64 // bumped when pending deposits become invalid (BulkLoad)
+	inbox retrain.Inbox[deposit]
+	oplog []wop
+
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
+}
+
+// deposit is one finished background rebuild: the replacement leaves
+// for old, tagged with the generation the snapshot was taken under.
+type deposit struct {
+	old    *segLeaf
+	gen    uint64
+	leaves []*segLeaf
+}
+
+// wop is one op-logged write against a retraining leaf.
+type wop struct {
+	l   *segLeaf
+	key uint64
+	val uint64
+	del bool
 }
 
 // New returns an empty FITing-tree.
@@ -139,10 +173,30 @@ func (ix *Index) Len() int { return ix.length }
 func (ix *Index) ConcurrentReads() bool { return true }
 
 // RetrainStats implements index.RetrainReporter.
-func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+func (ix *Index) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), ix.retrainNs.Load()
+}
+
+// SetRetrainPool implements index.AsyncRetrainer: subsequent leaf
+// retrains build their replacement segments on the pool.
+func (ix *Index) SetRetrainPool(p *retrain.Pool) { ix.pool = p }
+
+// DrainRetrains implements index.AsyncRetrainer: wait for in-flight
+// rebuilds and install them, repeating until no install schedules
+// further work. Must run on the writer timeline.
+func (ix *Index) DrainRetrains() {
+	for {
+		ix.pool.Drain()
+		if !ix.installDeposits() {
+			return
+		}
+	}
+}
 
 // BulkLoad segments sorted keys with Opt-PLA and builds the inner B+tree.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.gen++ // pending rebuild deposits target leaves that no longer exist
+	ix.oplog = nil
 	ix.inner = btree.New()
 	ix.leaves = ix.leaves[:0]
 	ix.length = len(keys)
@@ -247,6 +301,14 @@ func bufSearch(buf []uint64, key uint64) (int, bool) {
 
 // Insert stores value under key, replacing any existing value.
 func (ix *Index) Insert(key, value uint64) error {
+	ix.installDeposits()
+	return ix.insert(key, value, true)
+}
+
+// insert is the write path shared by Insert and op-log replay. counted
+// is false during replay: the original write already adjusted length,
+// and the replayed one merely re-applies it to the rebuilt leaves.
+func (ix *Index) insert(key, value uint64, counted bool) error {
 	l := ix.leafFor(key)
 	if l == nil {
 		seg := pla.Segment{FirstKey: key, Start: 0, End: 1}
@@ -260,12 +322,14 @@ func (ix *Index) Insert(key, value uint64) error {
 	}
 	if i, ok := l.search(key); ok {
 		l.vals[i] = value
+		ix.logOp(l, key, value, false)
 		return nil
 	}
 	if ix.cfg.Mode == Buffer {
 		i, ok := bufSearch(l.bufK, key)
 		if ok {
 			l.bufV[i] = value
+			ix.logOp(l, key, value, false)
 			return nil
 		}
 		l.bufK = append(l.bufK, 0)
@@ -274,17 +338,28 @@ func (ix *Index) Insert(key, value uint64) error {
 		copy(l.bufV[i+1:], l.bufV[i:])
 		l.bufK[i] = key
 		l.bufV[i] = value
-		ix.length++
-		if len(l.bufK) >= ix.cfg.Reserve {
-			ix.retrainLeaf(l)
+		if counted {
+			ix.length++
+		}
+		ix.logOp(l, key, value, false)
+		if len(l.bufK) >= ix.cfg.Reserve && !l.retraining {
+			ix.scheduleRetrain(l)
 		}
 		return nil
 	}
 	// Inplace: shift to open a gap at the insertion point.
-	if len(l.keys) == cap(l.keys) {
-		ix.retrainLeafWith(l, key, value)
-		ix.length++
-		return nil
+	if len(l.keys) == cap(l.keys) && !l.retraining {
+		if ix.pool == nil {
+			ix.retrainLeafWith(l, key, value)
+			if counted {
+				ix.length++
+			}
+			return nil
+		}
+		// With a pool attached the leaf keeps absorbing writes (append
+		// regrows the slice past the reserve) and the rebuild — which
+		// will snapshot the new key too — runs aside.
+		defer ix.scheduleRetrain(l)
 	}
 	i, _ := l.search(key)
 	// search returns a window-local position for misses; recover the exact
@@ -302,12 +377,23 @@ func (ix *Index) Insert(key, value uint64) error {
 	l.keys[i] = key
 	l.vals[i] = value
 	l.maxErr++ // positions shifted by at most one more slot
-	ix.length++
+	if counted {
+		ix.length++
+	}
+	ix.logOp(l, key, value, false)
 	return nil
 }
 
-// retrainLeaf merges a leaf with its buffer and re-segments it.
-func (ix *Index) retrainLeaf(l *segLeaf) {
+// logOp records a write against a retraining leaf for replay at install.
+func (ix *Index) logOp(l *segLeaf, key, val uint64, del bool) {
+	if l.retraining {
+		ix.oplog = append(ix.oplog, wop{l: l, key: key, val: val, del: del})
+	}
+}
+
+// mergedCopy returns a fresh copy of the leaf's base merged with its
+// buffer — the snapshot a background rebuild works from.
+func (l *segLeaf) mergedCopy() ([]uint64, []uint64) {
 	keys := make([]uint64, 0, len(l.keys)+len(l.bufK))
 	vals := make([]uint64, 0, len(l.keys)+len(l.bufK))
 	i, j := 0, 0
@@ -322,7 +408,92 @@ func (ix *Index) retrainLeaf(l *segLeaf) {
 			j++
 		}
 	}
+	return keys, vals
+}
+
+// retrainLeaf merges a leaf with its buffer and re-segments it inline.
+func (ix *Index) retrainLeaf(l *segLeaf) {
+	keys, vals := l.mergedCopy()
 	ix.replaceLeaf(l, keys, vals)
+}
+
+// scheduleRetrain hands the leaf's rebuild to the pool: snapshot now (a
+// cheap linear merge, so the background task never reads live leaf
+// state), segment and build replacement leaves aside, deposit for
+// installation on the writer timeline. Without a pool this is today's
+// inline retrain.
+func (ix *Index) scheduleRetrain(l *segLeaf) {
+	if ix.pool == nil {
+		ix.retrainLeaf(l)
+		return
+	}
+	if l.retraining {
+		return
+	}
+	l.retraining = true
+	keys, vals := l.mergedCopy()
+	gen := ix.gen
+	ix.pool.Submit(l, func() {
+		start := time.Now()
+		var nls []*segLeaf
+		if len(keys) > 0 {
+			for _, s := range ix.segment(keys) {
+				nls = append(nls, ix.newLeaf(keys[s.Start:s.End], vals[s.Start:s.End], s))
+			}
+		}
+		ix.retrains.Add(1)
+		ix.retrainNs.Add(time.Since(start).Nanoseconds())
+		ix.inbox.Put(deposit{old: l, gen: gen, leaves: nls})
+	})
+	ix.installDeposits() // in sync mode the deposit is already waiting
+}
+
+// installDeposits swaps finished rebuilds into the inner tree and
+// replays the op-logged writes that raced with them. Runs on the writer
+// timeline only. Reports whether anything was installed.
+func (ix *Index) installDeposits() bool {
+	deps := ix.inbox.TakeAll()
+	if len(deps) == 0 {
+		return false
+	}
+	for _, d := range deps {
+		if d.gen != ix.gen {
+			continue
+		}
+		ix.inner.Delete(d.old.firstKey)
+		for _, nl := range d.leaves {
+			ix.leaves = append(ix.leaves, nl)
+			// The inner btree's Insert error is interface-shaped and always nil.
+			_ = ix.inner.Insert(nl.firstKey, uint64(len(ix.leaves)-1))
+		}
+		// Replay the writes that hit the old leaf after the snapshot, in
+		// order, against the freshly installed leaves.
+		log := ix.takeOplog(d.old)
+		for _, op := range log {
+			if op.del {
+				ix.del(op.key, false)
+			} else {
+				_ = ix.insert(op.key, op.val, false)
+			}
+		}
+	}
+	return true
+}
+
+// takeOplog removes and returns the ops logged against l, preserving
+// order; ops for other retraining leaves stay queued.
+func (ix *Index) takeOplog(l *segLeaf) []wop {
+	var mine []wop
+	rest := ix.oplog[:0]
+	for _, op := range ix.oplog {
+		if op.l == l {
+			mine = append(mine, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	ix.oplog = rest
+	return mine
 }
 
 // retrainLeafWith re-segments a full inplace leaf together with one new
@@ -352,12 +523,18 @@ func (ix *Index) replaceLeaf(old *segLeaf, keys, vals []uint64) {
 		// The inner btree's Insert error is interface-shaped and always nil.
 		_ = ix.inner.Insert(s.FirstKey, uint64(len(ix.leaves)-1))
 	}
-	ix.retrains++
-	ix.retrainNs += time.Since(start).Nanoseconds()
+	ix.retrains.Add(1)
+	ix.retrainNs.Add(time.Since(start).Nanoseconds())
 }
 
 // Delete removes key and reports whether it was present.
 func (ix *Index) Delete(key uint64) bool {
+	ix.installDeposits()
+	return ix.del(key, true)
+}
+
+// del is the removal path shared by Delete and op-log replay.
+func (ix *Index) del(key uint64, counted bool) bool {
 	l := ix.leafFor(key)
 	if l == nil {
 		return false
@@ -368,14 +545,20 @@ func (ix *Index) Delete(key uint64) bool {
 		l.keys = l.keys[:len(l.keys)-1]
 		l.vals = l.vals[:len(l.vals)-1]
 		l.maxErr++
-		ix.length--
+		if counted {
+			ix.length--
+		}
+		ix.logOp(l, key, 0, true)
 		return true
 	}
 	if ix.cfg.Mode == Buffer {
 		if i, ok := bufSearch(l.bufK, key); ok {
 			l.bufK = append(l.bufK[:i], l.bufK[i+1:]...)
 			l.bufV = append(l.bufV[:i], l.bufV[i+1:]...)
-			ix.length--
+			if counted {
+				ix.length--
+			}
+			ix.logOp(l, key, 0, true)
 			return true
 		}
 	}

@@ -16,6 +16,7 @@
 package lipp
 
 import (
+	"sync/atomic"
 	"time"
 
 	"learnedpieces/internal/index"
@@ -97,8 +98,8 @@ type Index struct {
 	root   *node
 	length int
 
-	retrains  int64
-	retrainNs int64
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
 }
 
 // New returns an empty index.
@@ -119,7 +120,7 @@ func (ix *Index) Len() int { return ix.length }
 func (ix *Index) ConcurrentReads() bool { return true }
 
 // RetrainStats implements index.RetrainReporter.
-func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains.Load(), ix.retrainNs.Load() }
 
 // BulkLoad builds the tree over sorted distinct keys.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
@@ -306,8 +307,8 @@ func (ix *Index) maybeRebuild(path []*node) {
 		})
 		rebuilt := ix.build(keys, vals)
 		*nd = *rebuilt
-		ix.retrains++
-		ix.retrainNs += time.Since(start).Nanoseconds()
+		ix.retrains.Add(1)
+		ix.retrainNs.Add(time.Since(start).Nanoseconds())
 		return
 	}
 }

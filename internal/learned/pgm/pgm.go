@@ -9,11 +9,13 @@ package pgm
 import (
 	"math/bits"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/retrain"
 	"learnedpieces/internal/search"
 )
 
@@ -174,8 +176,29 @@ type Index struct {
 	length int
 	dirty  bool
 
-	retrains  int64
-	retrainNs int64
+	// Background flushing (index.AsyncRetrainer): a full buffer is
+	// frozen and handed to the pool, which merges it with a snapshot of
+	// the runs aside; a fresh buffer absorbs writes meanwhile. Lookups
+	// read buf -> frozen -> runs. The result is deposited in the inbox
+	// and installed on the writer's timeline (the single-writer contract
+	// means the background task must never touch the live structure).
+	pool     *retrain.Pool
+	frozenK  []uint64
+	frozenV  []uint64
+	frozenD  []bool
+	flushing bool
+	gen      uint64 // bumped when a pending deposit becomes invalid (BulkLoad)
+	inbox    retrain.Inbox[flushResult]
+
+	retrains  atomic.Int64
+	retrainNs atomic.Int64
+}
+
+// flushResult is one background flush: the replacement run set, tagged
+// with the generation it was built from.
+type flushResult struct {
+	gen  uint64
+	runs []*Static
 }
 
 // New returns an empty dynamic PGM-Index.
@@ -191,10 +214,39 @@ func (ix *Index) Name() string { return "pgm" }
 func (ix *Index) ConcurrentReads() bool { return true }
 
 // RetrainStats implements index.RetrainReporter.
-func (ix *Index) RetrainStats() (int64, int64) { return ix.retrains, ix.retrainNs }
+func (ix *Index) RetrainStats() (int64, int64) {
+	return ix.retrains.Load(), ix.retrainNs.Load()
+}
+
+// SetRetrainPool implements index.AsyncRetrainer: subsequent buffer
+// flushes build their merged runs on the pool.
+func (ix *Index) SetRetrainPool(p *retrain.Pool) { ix.pool = p }
+
+// DrainRetrains implements index.AsyncRetrainer: wait for in-flight
+// flushes, then install their results. Must run on the writer timeline.
+func (ix *Index) DrainRetrains() {
+	ix.pool.Drain()
+	ix.install()
+}
+
+// install applies deposited flush results; stale deposits (the
+// structure was replaced after the snapshot) are dropped.
+func (ix *Index) install() {
+	for _, dep := range ix.inbox.TakeAll() {
+		if dep.gen != ix.gen {
+			continue
+		}
+		ix.runs = dep.runs
+		ix.frozenK, ix.frozenV, ix.frozenD = nil, nil, nil
+		ix.flushing = false
+	}
+}
 
 // BulkLoad places the sorted keys in the smallest run that fits them.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
+	ix.gen++ // a pending flush deposit no longer applies
+	ix.frozenK, ix.frozenV, ix.frozenD = nil, nil, nil
+	ix.flushing = false
 	ix.runs = nil
 	ix.bufK, ix.bufV, ix.bufD = nil, nil, nil
 	ix.length = len(keys)
@@ -233,8 +285,37 @@ func (ix *Index) bufUpsert(key, value uint64, dead bool) {
 	ix.bufV[i] = value
 	ix.bufD[i] = dead
 	if len(ix.bufK) >= ix.cfg.BaseSize {
-		ix.flush()
+		ix.scheduleFlush()
 	}
+}
+
+// scheduleFlush routes a full buffer to the pool when one is attached,
+// and to the classic inline flush otherwise. While a background flush
+// is in flight the live buffer simply keeps absorbing writes (it grows
+// past BaseSize until the deposit installs) — the index never blocks.
+func (ix *Index) scheduleFlush() {
+	if ix.pool == nil {
+		ix.flush()
+		return
+	}
+	if ix.flushing {
+		return
+	}
+	ix.flushing = true
+	ix.frozenK, ix.frozenV, ix.frozenD = ix.bufK, ix.bufV, ix.bufD
+	ix.bufK, ix.bufV, ix.bufD = nil, nil, nil
+	fk, fv, fd := ix.frozenK, ix.frozenV, ix.frozenD
+	runs := append([]*Static(nil), ix.runs...)
+	gen := ix.gen
+	cfg := ix.cfg
+	ix.pool.Submit(ix, func() {
+		start := time.Now()
+		res := flushInto(cfg, runs, fk, fv, fd)
+		ix.retrains.Add(1)
+		ix.retrainNs.Add(time.Since(start).Nanoseconds())
+		ix.inbox.Put(flushResult{gen: gen, runs: res})
+	})
+	ix.install() // in sync mode the deposit is already waiting
 }
 
 // levelFor returns the smallest run level whose capacity holds n keys.
@@ -246,13 +327,20 @@ func (ix *Index) levelFor(n int) int {
 	return bits.Len(uint(q - 1))
 }
 
-// Get returns the value stored under key (buffer, then newest run).
+// Get returns the value stored under key (buffer, then the frozen
+// buffer of an in-flight flush, then newest run).
 func (ix *Index) Get(key uint64) (uint64, bool) {
 	if i, ok := ix.bufSearch(key); ok {
 		if ix.bufD[i] {
 			return 0, false
 		}
 		return ix.bufV[i], true
+	}
+	if i, ok := search.Find(ix.frozenK, key); ok {
+		if ix.frozenD[i] {
+			return 0, false
+		}
+		return ix.frozenV[i], true
 	}
 	for _, r := range ix.runs {
 		if r == nil {
@@ -289,6 +377,13 @@ func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
 				done[l] = true
 				if !ix.bufD[i] {
 					vals[off+l], found[off+l] = ix.bufV[i], true
+				}
+				continue
+			}
+			if i, ok := search.Find(ix.frozenK, key); ok {
+				done[l] = true
+				if !ix.frozenD[i] {
+					vals[off+l], found[off+l] = ix.frozenV[i], true
 				}
 			}
 		}
@@ -335,12 +430,14 @@ func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
 
 // Insert stores value under key, replacing any existing value.
 func (ix *Index) Insert(key, value uint64) error {
+	ix.install()
 	ix.bufUpsert(key, value, false)
 	return nil
 }
 
 // Delete inserts a tombstone and reports whether the key was live.
 func (ix *Index) Delete(key uint64) bool {
+	ix.install()
 	_, ok := ix.Get(key)
 	if !ok {
 		return false
@@ -354,35 +451,44 @@ func (ix *Index) Delete(key uint64) bool {
 // one retraining action.
 func (ix *Index) flush() {
 	start := time.Now()
-	mk := ix.bufK
-	mv := ix.bufV
-	md := ix.bufD
+	mk, mv, md := ix.bufK, ix.bufV, ix.bufD
 	ix.bufK, ix.bufV, ix.bufD = nil, nil, nil
+	ix.runs = flushInto(ix.cfg, ix.runs, mk, mv, md)
+	ix.retrains.Add(1)
+	ix.retrainNs.Add(time.Since(start).Nanoseconds())
+}
+
+// flushInto merges the (mk, mv, md) buffer plus the occupied prefix of
+// runs into the first run with spare capacity, returning the new run
+// set. Pure with respect to the index — callers on a background worker
+// pass a private copy of the runs slice (the Statics themselves are
+// immutable) and install the result on the writer timeline.
+func flushInto(cfg Config, runs []*Static, mk, mv []uint64, md []bool) []*Static {
 	j := 0
-	for ; j < len(ix.runs); j++ {
-		if ix.runs[j] == nil {
+	for ; j < len(runs); j++ {
+		if runs[j] == nil {
 			break
 		}
-		mk, mv, md = mergeRuns(mk, mv, md, ix.runs[j])
-		ix.runs[j] = nil
-		if len(mk) <= ix.cfg.BaseSize<<uint(j) {
+		mk, mv, md = mergeRuns(mk, mv, md, runs[j])
+		runs[j] = nil
+		if len(mk) <= cfg.BaseSize<<uint(j) {
 			// Everything merged so far already fits at this level.
 			break
 		}
 	}
-	for len(mk) > ix.cfg.BaseSize<<uint(j) {
+	for len(mk) > cfg.BaseSize<<uint(j) {
 		// The merged run outgrew level j: absorb further runs (occupied or
 		// not) until it fits.
 		j++
-		if j < len(ix.runs) && ix.runs[j] != nil {
-			mk, mv, md = mergeRuns(mk, mv, md, ix.runs[j])
-			ix.runs[j] = nil
+		if j < len(runs) && runs[j] != nil {
+			mk, mv, md = mergeRuns(mk, mv, md, runs[j])
+			runs[j] = nil
 		}
 	}
 	// Drop tombstones when nothing older remains below.
 	last := true
-	for i := j + 1; i < len(ix.runs); i++ {
-		if ix.runs[i] != nil {
+	for i := j + 1; i < len(runs); i++ {
+		if runs[i] != nil {
 			last = false
 			break
 		}
@@ -390,14 +496,13 @@ func (ix *Index) flush() {
 	if last {
 		mk, mv, md = dropDead(mk, mv, md)
 	}
-	for len(ix.runs) <= j {
-		ix.runs = append(ix.runs, nil)
+	for len(runs) <= j {
+		runs = append(runs, nil)
 	}
-	s := NewStatic(mk, mv, ix.cfg.Eps, ix.cfg.EpsInternal)
+	s := NewStatic(mk, mv, cfg.Eps, cfg.EpsInternal)
 	s.dead = md
-	ix.runs[j] = s
-	ix.retrains++
-	ix.retrainNs += time.Since(start).Nanoseconds()
+	runs[j] = s
+	return runs
 }
 
 // mergeRuns merges the (newer) triple with an (older) run, newest wins.
@@ -479,6 +584,7 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 		}
 	}
 	add(ix.bufK, ix.bufV, ix.bufD)
+	add(ix.frozenK, ix.frozenV, ix.frozenD)
 	for _, r := range ix.runs {
 		if r != nil {
 			add(r.keys, r.vals, r.dead)
@@ -550,9 +656,9 @@ func (ix *Index) LeafCount() int {
 // Sizes reports the footprint: all model levels are structure; the
 // insert buffer counts toward keys/values.
 func (ix *Index) Sizes() index.Sizes {
-	st := int64(len(ix.bufD))
-	kb := int64(len(ix.bufK)) * 8
-	vb := int64(len(ix.bufV)) * 8
+	st := int64(len(ix.bufD) + len(ix.frozenD))
+	kb := int64(len(ix.bufK)+len(ix.frozenK)) * 8
+	vb := int64(len(ix.bufV)+len(ix.frozenV)) * 8
 	for _, r := range ix.runs {
 		if r == nil {
 			continue

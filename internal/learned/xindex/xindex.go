@@ -24,6 +24,7 @@ import (
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
+	"learnedpieces/internal/retrain"
 	"learnedpieces/internal/search"
 )
 
@@ -165,6 +166,7 @@ type Index struct {
 	root    atomic.Pointer[root]
 	splitMu sync.Mutex // serialises root swaps
 	length  atomic.Int64
+	pool    *retrain.Pool // nil: compaction completes on the inserting goroutine
 
 	retrains  atomic.Int64
 	retrainNs atomic.Int64
@@ -196,6 +198,16 @@ func (ix *Index) ConcurrentWrites() bool { return true }
 func (ix *Index) RetrainStats() (int64, int64) {
 	return ix.retrains.Load(), ix.retrainNs.Load()
 }
+
+// SetRetrainPool implements index.AsyncRetrainer: subsequent compactions
+// run their merge phase on the pool. Must be called before the index
+// serves concurrent operations.
+func (ix *Index) SetRetrainPool(p *retrain.Pool) { ix.pool = p }
+
+// DrainRetrains implements index.AsyncRetrainer. Compactions install
+// their own results under the group lock, so waiting for the pool is
+// enough.
+func (ix *Index) DrainRetrains() { ix.pool.Drain() }
 
 // BulkLoad partitions sorted keys into groups and trains all models.
 func (ix *Index) BulkLoad(keys, values []uint64) error {
@@ -295,23 +307,29 @@ func (ix *Index) upsert(key, value uint64, dead bool) bool {
 			g.mu.Unlock()
 			return wasLive
 		}
-		ix.compact(g) // enters with g.mu held, releases it
+		// Two-phase compaction, phase one (still under the lock): mark
+		// compacting and open the temporary buffer. Concurrent readers
+		// keep seeing data+buf+tmp; concurrent writers land in tmp.
+		g.compacting = true
+		g.tmp = &delta{}
+		data, buf := g.data, g.buf
+		g.mu.Unlock()
+		// Phase two — the merge, model retraining and installation —
+		// runs wherever the pool says: a background worker in async
+		// mode, inline right here otherwise. The compacting flag
+		// guarantees at most one in-flight compaction per group, so the
+		// pool's per-key coalescing never has to drop one.
+		ix.pool.Submit(g, func() { ix.finishCompact(g, data, buf) })
 		return wasLive
 	}
 }
 
-// compact runs the two-phase compaction. Phase one (lock held on entry):
-// mark compacting and open the temporary buffer. The merge then runs
-// without the lock — concurrent readers see data+buf+tmp; concurrent
-// writers land in tmp. Phase two: install the merged data, promote tmp
-// to buf, and split the group when it outgrew its bound.
-func (ix *Index) compact(g *group) {
+// finishCompact is phase two of the compaction: merge data and buffer,
+// retrain the group models, and install the result under the group
+// lock, promoting tmp to buf and splitting the group when it outgrew
+// its bound.
+func (ix *Index) finishCompact(g *group, data *groupData, buf *delta) {
 	start := time.Now()
-	g.compacting = true
-	g.tmp = &delta{}
-	data, buf := g.data, g.buf
-	g.mu.Unlock()
-
 	merged := mergeData(data, buf, ix.cfg.SegLen)
 
 	g.mu.Lock()
@@ -321,11 +339,28 @@ func (ix *Index) compact(g *group) {
 	g.compacting = false
 	if len(merged.keys) > 2*ix.cfg.GroupSize {
 		ix.splitGroup(g, merged) // releases g.mu
-	} else {
-		g.mu.Unlock()
+		ix.retrains.Add(1)
+		ix.retrainNs.Add(time.Since(start).Nanoseconds())
+		return
 	}
+	// If writes outran this compaction (tmp, now promoted, is already
+	// over threshold), go again: without this a backlogged pool leaves
+	// ever-growing buffers behind — Drain must converge to a compacted
+	// index, not just an empty queue.
+	again := len(g.buf.k) >= ix.cfg.BufferThreshold
+	var data2 *groupData
+	var buf2 *delta
+	if again {
+		g.compacting = true
+		g.tmp = &delta{}
+		data2, buf2 = g.data, g.buf
+	}
+	g.mu.Unlock()
 	ix.retrains.Add(1)
 	ix.retrainNs.Add(time.Since(start).Nanoseconds())
+	if again {
+		ix.pool.Submit(g, func() { ix.finishCompact(g, data2, buf2) })
+	}
 }
 
 // mergeData merges the immutable data with a delta, dropping tombstoned
@@ -358,33 +393,44 @@ func mergeData(data *groupData, buf *delta, segLen int) *groupData {
 	return &groupData{keys: keys, vals: vals, segs: pla.BuildLSA(keys, segLen)}
 }
 
-// splitGroup divides g in two and swaps in a new root. Called with g.mu
-// held; releases it. Lock order is always group -> splitMu.
+// splitGroup divides g back into GroupSize-sized groups and swaps in a
+// new root. The split is k-way, not binary: a backlogged background
+// compaction can hand over a merge many times the bound, and halving it
+// once would leave oversized groups (slow in-group locates) behind.
+// Called with g.mu held; releases it. Lock order is always
+// group -> splitMu.
 func (ix *Index) splitGroup(g *group, merged *groupData) {
-	mid := len(merged.keys) / 2
-	left := &group{
-		pivot: g.pivot,
-		data: &groupData{
-			keys: merged.keys[:mid],
-			vals: merged.vals[:mid],
-		},
-		buf: &delta{},
+	parts := len(merged.keys) / ix.cfg.GroupSize
+	if parts < 2 {
+		parts = 2
 	}
-	right := &group{
-		pivot: merged.keys[mid],
-		data: &groupData{
-			keys: merged.keys[mid:],
-			vals: merged.vals[mid:],
-		},
-		buf: &delta{},
+	per := (len(merged.keys) + parts - 1) / parts
+	news := make([]*group, 0, parts)
+	for lo := 0; lo < len(merged.keys); lo += per {
+		hi := lo + per
+		if hi > len(merged.keys) {
+			hi = len(merged.keys)
+		}
+		pivot := merged.keys[lo]
+		if lo == 0 {
+			pivot = g.pivot
+		}
+		ng := &group{
+			pivot: pivot,
+			data:  &groupData{keys: merged.keys[lo:hi], vals: merged.vals[lo:hi]},
+			buf:   &delta{},
+		}
+		ng.data.segs = pla.BuildLSA(ng.data.keys, ix.cfg.SegLen)
+		news = append(news, ng)
 	}
-	left.data.segs = pla.BuildLSA(left.data.keys, ix.cfg.SegLen)
-	right.data.segs = pla.BuildLSA(right.data.keys, ix.cfg.SegLen)
 	// Distribute the (fresh) buffer by pivot.
 	for i, k := range g.buf.k {
-		dst := left
-		if k >= right.pivot {
-			dst = right
+		dst := news[0]
+		for j := len(news) - 1; j > 0; j-- {
+			if k >= news[j].pivot {
+				dst = news[j]
+				break
+			}
 		}
 		dst.buf.upsert(k, g.buf.v[i], g.buf.dead[i])
 	}
@@ -393,16 +439,32 @@ func (ix *Index) splitGroup(g *group, merged *groupData) {
 
 	ix.splitMu.Lock()
 	cur := ix.root.Load()
-	groups := make([]*group, 0, len(cur.groups)+1)
+	groups := make([]*group, 0, len(cur.groups)+parts-1)
 	for _, og := range cur.groups {
 		if og == g {
-			groups = append(groups, left, right)
+			groups = append(groups, news...)
 		} else {
 			groups = append(groups, og)
 		}
 	}
 	ix.root.Store(buildRoot(groups))
 	ix.splitMu.Unlock()
+
+	// The carried-over buffer can itself be over threshold when the
+	// compaction ran behind a backlog; compact those new groups too so a
+	// drain converges to a compacted index.
+	for _, ng := range news {
+		ng.mu.Lock()
+		if !ng.compacting && len(ng.buf.k) >= ix.cfg.BufferThreshold {
+			ng.compacting = true
+			ng.tmp = &delta{}
+			data, buf := ng.data, ng.buf
+			ng.mu.Unlock()
+			ix.pool.Submit(ng, func() { ix.finishCompact(ng, data, buf) })
+		} else {
+			ng.mu.Unlock()
+		}
+	}
 }
 
 // Scan visits live entries with key >= start in ascending order. The

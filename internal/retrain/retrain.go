@@ -1,0 +1,309 @@
+// Package retrain moves learned-index retraining (segment merges, node
+// expands, group compaction, full rebuilds) off the foreground Put
+// path.
+//
+// The centrepiece is Pool: a bounded background worker pool with a
+// coalescing task queue. Tasks are keyed by the structure they retrain
+// (a segment, node or group pointer); at most one task per key is ever
+// pending, and a newer submission for the same key replaces the queued
+// closure ("newest request wins") — retraining is idempotent-by-rebuild,
+// so only the latest snapshot matters. A pool with zero workers runs
+// every task inline on the submitting goroutine and accounts the time
+// as a foreground stall: "sync mode" and "async mode" are the same code
+// path in the adopting indexes, differing only in where and when the
+// closure runs.
+//
+// Two small helpers cover the publication side:
+//
+//   - Slot is a copy-on-write publication cell (build aside, atomic
+//     pointer swap) for indexes whose readers follow a pointer — readers
+//     never block on a retrain.
+//   - Inbox collects built-aside results for indexes with a
+//     single-writer contract, where the background worker must not touch
+//     the live structure; the owning writer installs deposits on its own
+//     timeline (at the next write, or at Drain).
+package retrain
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of retraining work. It must be self-contained: the
+// closure owns a snapshot of whatever it rebuilds and publishes the
+// result itself (via a Slot swap or an Inbox deposit).
+type Task func()
+
+type entry struct {
+	key any
+	fn  Task
+}
+
+// Pool runs retraining tasks on a fixed set of background workers.
+//
+// Submit coalesces by key, Drain blocks until the pool is idle, and
+// Close drains then stops the workers. A nil *Pool is valid: Submit
+// runs the task inline with no accounting, Drain and Close are no-ops —
+// adopting indexes hold a possibly-nil pool and never branch on it.
+type Pool struct {
+	mu      sync.Mutex
+	idle    sync.Cond // pending == 0 && running == 0
+	ready   sync.Cond // queue non-empty or closing
+	pending map[any]*entry
+	queue   []*entry
+	running int
+	closed  bool
+	done    sync.WaitGroup
+
+	workers  int
+	queueCap int
+
+	submitted    atomic.Int64
+	coalesced    atomic.Int64
+	executed     atomic.Int64
+	inline       atomic.Int64
+	depth        atomic.Int64
+	backgroundNs atomic.Int64
+	foregroundNs atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the pool's counters.
+//
+// Submitted counts every Submit call. Coalesced counts submissions that
+// replaced an already-queued task for the same key. Executed counts
+// closures actually run (background or inline). Inline counts the
+// executed tasks that ran on the submitting goroutine — all of them in
+// sync mode, overflow fallbacks in async mode. QueueDepth is the number
+// of tasks currently queued or running. BackgroundNs/ForegroundNs split
+// the total retraining time by where it was paid: a worker goroutine,
+// or a stalled foreground caller.
+type Stats struct {
+	Workers      int
+	QueueDepth   int64
+	Submitted    int64
+	Coalesced    int64
+	Executed     int64
+	Inline       int64
+	BackgroundNs int64
+	ForegroundNs int64
+}
+
+// NewPool starts a pool with the given worker count and queue bound.
+// workers == 0 is sync mode: Submit runs every task inline and accounts
+// it as foreground stall time. queueCap <= 0 defaults to 64; when the
+// queue is full a Submit that cannot coalesce falls back to inline
+// execution rather than blocking behind or dropping work.
+func NewPool(workers, queueCap int) *Pool {
+	if workers < 0 {
+		workers = 0
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	p := &Pool{
+		pending:  make(map[any]*entry),
+		workers:  workers,
+		queueCap: queueCap,
+	}
+	p.idle.L = &p.mu
+	p.ready.L = &p.mu
+	for i := 0; i < workers; i++ {
+		p.done.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool's worker count (0 in sync mode). Nil-safe.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Submit schedules fn to retrain the structure identified by key. If a
+// task for key is already queued (not yet running), fn replaces it and
+// the older closure is dropped. In sync mode, on a closed pool, or when
+// the queue is full, fn runs inline before Submit returns.
+func (p *Pool) Submit(key any, fn Task) {
+	if p == nil {
+		fn()
+		return
+	}
+	p.submitted.Add(1)
+	if p.workers == 0 {
+		p.runForeground(fn)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.runForeground(fn)
+		return
+	}
+	if e, ok := p.pending[key]; ok {
+		e.fn = fn // newest request wins
+		p.mu.Unlock()
+		p.coalesced.Add(1)
+		return
+	}
+	if len(p.queue) >= p.queueCap {
+		p.mu.Unlock()
+		p.runForeground(fn)
+		return
+	}
+	e := &entry{key: key, fn: fn}
+	p.pending[key] = e
+	p.queue = append(p.queue, e)
+	p.depth.Add(1)
+	p.ready.Signal()
+	p.mu.Unlock()
+}
+
+// runForeground executes fn on the calling goroutine and accounts the
+// stall.
+func (p *Pool) runForeground(fn Task) {
+	start := time.Now()
+	fn()
+	p.foregroundNs.Add(time.Since(start).Nanoseconds())
+	p.executed.Add(1)
+	p.inline.Add(1)
+}
+
+func (p *Pool) worker() {
+	defer p.done.Done()
+	p.mu.Lock()
+	for {
+		for len(p.queue) == 0 && !p.closed {
+			p.ready.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		e := p.queue[0]
+		p.queue = p.queue[1:]
+		delete(p.pending, e.key)
+		p.running++
+		fn := e.fn
+		p.mu.Unlock()
+
+		start := time.Now()
+		fn()
+		p.backgroundNs.Add(time.Since(start).Nanoseconds())
+		p.executed.Add(1)
+
+		p.mu.Lock()
+		p.running--
+		p.depth.Add(-1)
+		if len(p.queue) == 0 && p.running == 0 {
+			p.idle.Broadcast()
+		}
+	}
+}
+
+// Drain blocks until every queued and running task has finished. New
+// submissions during Drain extend the wait. Nil-safe.
+func (p *Pool) Drain() {
+	if p == nil || p.workers == 0 {
+		return
+	}
+	p.mu.Lock()
+	for len(p.queue) != 0 || p.running != 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close drains the queue and stops the workers. After Close, Submit
+// falls back to inline execution, so adopting indexes keep working
+// through shutdown. Nil-safe and idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.workers == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.done.Wait()
+		return
+	}
+	p.closed = true
+	p.ready.Broadcast()
+	p.mu.Unlock()
+	p.done.Wait()
+}
+
+// Stats returns a snapshot of the pool counters. Nil-safe: a nil pool
+// reports zeros.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Workers:      p.workers,
+		QueueDepth:   p.depth.Load(),
+		Submitted:    p.submitted.Load(),
+		Coalesced:    p.coalesced.Load(),
+		Executed:     p.executed.Load(),
+		Inline:       p.inline.Load(),
+		BackgroundNs: p.backgroundNs.Load(),
+		ForegroundNs: p.foregroundNs.Load(),
+	}
+}
+
+// Slot is a copy-on-write publication cell: the background worker
+// builds a replacement structure aside and publishes it with a single
+// atomic pointer swap, so readers never block on a retrain and never
+// observe a half-built structure.
+type Slot[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// Load returns the current published value (nil before the first
+// Publish).
+func (s *Slot[T]) Load() *T { return s.p.Load() }
+
+// Publish swaps in v as the new published value.
+func (s *Slot[T]) Publish(v *T) { s.p.Store(v) }
+
+// CompareAndPublish publishes v only if the slot still holds old,
+// returning whether the swap happened. Lets a background rebuild detect
+// that the structure it snapshotted was replaced underneath it.
+func (s *Slot[T]) CompareAndPublish(old, v *T) bool {
+	return s.p.CompareAndSwap(old, v)
+}
+
+// Inbox hands built-aside results from background workers to an owner
+// with a single-writer contract. Workers Put; the owning writer calls
+// TakeAll on its own timeline (at the top of the next write operation,
+// or when draining) and installs the results itself — the background
+// goroutine never touches the live structure.
+type Inbox[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// Put deposits one result.
+func (b *Inbox[T]) Put(v T) {
+	b.mu.Lock()
+	b.items = append(b.items, v)
+	b.mu.Unlock()
+}
+
+// TakeAll removes and returns every deposited result, oldest first.
+// Returns nil when the inbox is empty (the common, allocation-free
+// case on the hot path).
+func (b *Inbox[T]) TakeAll() []T {
+	if !b.mu.TryLock() {
+		// A worker is mid-Put; the writer will pick the deposit up on
+		// its next pass rather than stall here.
+		return nil
+	}
+	items := b.items
+	b.items = nil
+	b.mu.Unlock()
+	return items
+}

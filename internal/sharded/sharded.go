@@ -13,6 +13,7 @@ import (
 
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
+	"learnedpieces/internal/retrain"
 )
 
 // Index is the range-partitioned wrapper.
@@ -70,8 +71,36 @@ func (s *Index) Caps() index.Caps {
 		Sized:            inner.Sized,
 		Depth:            inner.Depth,
 		Retrain:          inner.Retrain,
+		AsyncRetrain:     inner.AsyncRetrain,
 		ConcurrentReads:  true,
 		ConcurrentWrites: true,
+	}
+}
+
+// SetRetrainPool forwards the pool to every shard's inner index (no-op
+// when the inner type does not support background retraining; Caps
+// masks AsyncRetrain then). Shards share the one pool — submission keys
+// are per-structure pointers, so shards never coalesce each other away.
+func (s *Index) SetRetrainPool(p *retrain.Pool) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if ar, ok := sh.idx.(index.AsyncRetrainer); ok {
+			ar.SetRetrainPool(p)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// DrainRetrains drains every shard under its write lock — holding the
+// lock makes the draining goroutine the shard's writer timeline, which
+// is what the AsyncRetrainer contract requires of single-writer inners.
+func (s *Index) DrainRetrains() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if ar, ok := sh.idx.(index.AsyncRetrainer); ok {
+			ar.DrainRetrains()
+		}
+		sh.mu.Unlock()
 	}
 }
 

@@ -202,11 +202,13 @@ func CollectIndexStats(idx index.Index) IndexStats {
 type Sink struct {
 	Store *StoreMetrics
 
-	mu        sync.Mutex
-	indexes   map[string]IndexStats
-	probe     func() IndexStats
-	pmem      PMemSnapshot // folded totals of retired regions
-	pmemProbe func() PMemSnapshot
+	mu           sync.Mutex
+	indexes      map[string]IndexStats
+	probe        func() IndexStats
+	pmem         PMemSnapshot // folded totals of retired regions
+	pmemProbe    func() PMemSnapshot
+	retrain      RetrainSnapshot // folded totals of retired pools
+	retrainProbe func() RetrainSnapshot
 }
 
 // New returns an enabled sink. Attaching a sink also switches on the
@@ -245,6 +247,26 @@ func (s *Sink) SetPMemProbe(p func() PMemSnapshot) {
 		final := old()
 		s.mu.Lock()
 		s.pmem = s.pmem.add(final)
+		s.mu.Unlock()
+	}
+}
+
+// SetRetrainProbe installs the live retrain-pool probe. The previous
+// probe, if any, is read one final time and folded into the sink's
+// cumulative retrain totals, so counters aggregate across store
+// generations. Safe on a nil sink.
+func (s *Sink) SetRetrainProbe(p func() RetrainSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	old := s.retrainProbe
+	s.retrainProbe = p
+	s.mu.Unlock()
+	if old != nil {
+		final := old()
+		s.mu.Lock()
+		s.retrain = s.retrain.add(final)
 		s.mu.Unlock()
 	}
 }

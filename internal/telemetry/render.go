@@ -56,6 +56,20 @@ func (sn Snapshot) WriteText(w io.Writer) {
 	fmt.Fprintln(w)
 	pm.Render(w)
 
+	if sn.Retrain.Workers > 0 || sn.Retrain.Submitted > 0 || sn.Retrain.Inline > 0 {
+		rt := stats.NewTable("retrain pipeline", "metric", "value")
+		rt.AddRow("workers", sn.Retrain.Workers)
+		rt.AddRow("queue depth", sn.Retrain.QueueDepth)
+		rt.AddRow("submitted", sn.Retrain.Submitted)
+		rt.AddRow("coalesced", sn.Retrain.Coalesced)
+		rt.AddRow("executed", sn.Retrain.Executed)
+		rt.AddRow("inline (foreground)", sn.Retrain.Inline)
+		rt.AddRow("background time", time.Duration(sn.Retrain.BackgroundNs))
+		rt.AddRow("foreground stall", time.Duration(sn.Retrain.ForegroundNs))
+		fmt.Fprintln(w)
+		rt.Render(w)
+	}
+
 	if len(sn.Search) > 0 {
 		sk := stats.NewTable("last-mile search (policy: "+sn.SearchKernel+")",
 			"kernel", "searches", "probes", "probes/search")
@@ -85,9 +99,9 @@ func (sn Snapshot) WriteText(w io.Writer) {
 
 // capsString is the compact capability legend used in the index table:
 // one letter per capability (Bulk Scan Delete Upsert sIzed dePth
-// Retrain / concurrent r/w), '-' when absent.
+// Retrain Async-retrain / concurrent r/w), '-' when absent.
 func capsString(c index.Caps) string {
-	out := make([]byte, 0, 9)
+	out := make([]byte, 0, 10)
 	mark := func(on bool, ch byte) {
 		if on {
 			out = append(out, ch)
@@ -102,6 +116,7 @@ func capsString(c index.Caps) string {
 	mark(c.Sized, 'I')
 	mark(c.Depth, 'P')
 	mark(c.Retrain, 'R')
+	mark(c.AsyncRetrain, 'A')
 	mark(c.ConcurrentReads, 'r')
 	mark(c.ConcurrentWrites, 'w')
 	return string(out)

@@ -64,6 +64,40 @@ type PMemSnapshot struct {
 	WriteStallNs int64 `json:"write_stall_ns"`
 }
 
+// RetrainSnapshot is the background-retraining section of a Snapshot:
+// the retrain pool's queue state and the time split between background
+// work and foreground (inline) stalls — the paper's retraining cost,
+// separated by where it was paid. It doubles as the value type retrain
+// probes return to the sink.
+type RetrainSnapshot struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int64 `json:"queue_depth"`
+	Submitted  int64 `json:"submitted"`
+	Coalesced  int64 `json:"coalesced"`
+	Executed   int64 `json:"executed"`
+	// Inline counts retrains that ran on the submitting goroutine (all
+	// of them in sync mode; queue-overflow fallbacks in async mode).
+	Inline int64 `json:"inline"`
+	// BackgroundNs / ForegroundNs split the retrain time by where it was
+	// spent: pool workers vs the submitting (foreground) goroutine.
+	BackgroundNs int64 `json:"background_ns"`
+	ForegroundNs int64 `json:"foreground_ns"`
+}
+
+func (r RetrainSnapshot) add(o RetrainSnapshot) RetrainSnapshot {
+	if o.Workers != 0 {
+		r.Workers = o.Workers
+	}
+	r.QueueDepth += o.QueueDepth
+	r.Submitted += o.Submitted
+	r.Coalesced += o.Coalesced
+	r.Executed += o.Executed
+	r.Inline += o.Inline
+	r.BackgroundNs += o.BackgroundNs
+	r.ForegroundNs += o.ForegroundNs
+	return r
+}
+
 func (p PMemSnapshot) add(o PMemSnapshot) PMemSnapshot {
 	p.Reads += o.Reads
 	p.Writes += o.Writes
@@ -83,7 +117,10 @@ type Snapshot struct {
 	TakenUnixNs int64         `json:"taken_unix_ns"`
 	Store       StoreSnapshot `json:"store"`
 	PMem        PMemSnapshot  `json:"pmem"`
-	Indexes     []IndexStats  `json:"indexes"`
+	// Retrain is the retrain-pool digest; the zero value means no pool
+	// was ever attached (the text renderer omits the table then).
+	Retrain RetrainSnapshot `json:"retrain"`
+	Indexes []IndexStats    `json:"indexes"`
 	// SearchKernel is the process-wide last-mile kernel policy
 	// (libench -searchkernel); Search carries the per-kernel search and
 	// probe counters. Both are process-global like the policy itself:
@@ -104,13 +141,18 @@ func (s *Sink) Snapshot() Snapshot {
 	s.mu.Lock()
 	probe := s.probe
 	pmemProbe := s.pmemProbe
+	retrainProbe := s.retrainProbe
 	pm := s.pmem
+	rt := s.retrain
 	s.mu.Unlock()
 	if probe != nil {
 		s.record(probe())
 	}
 	if pmemProbe != nil {
 		pm = pm.add(pmemProbe())
+	}
+	if retrainProbe != nil {
+		rt = rt.add(retrainProbe())
 	}
 
 	m := s.Store
@@ -132,6 +174,7 @@ func (s *Sink) Snapshot() Snapshot {
 			BulkLoad:      m.BulkLoad.snapshot(),
 		},
 		PMem:         pm,
+		Retrain:      rt,
 		SearchKernel: search.CurrentPolicy().String(),
 		Search:       search.StatsSnapshot(),
 	}

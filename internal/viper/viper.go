@@ -23,6 +23,7 @@ import (
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/retrain"
 	"learnedpieces/internal/telemetry"
 )
 
@@ -61,10 +62,12 @@ type Store struct {
 	seam index.Seam
 
 	// Options.
-	maxWorkers int
-	valueSize  int
-	sink       *telemetry.Sink
-	met        *telemetry.StoreMetrics // nil = telemetry disabled
+	maxWorkers  int
+	valueSize   int
+	sink        *telemetry.Sink
+	met         *telemetry.StoreMetrics // nil = telemetry disabled
+	retrainMode RetrainMode
+	pool        *retrain.Pool // nil unless WithRetrainMode attached one
 
 	cur     atomic.Pointer[page]
 	mu      sync.Mutex // page rollover, deletes, recovery
@@ -107,6 +110,56 @@ func WithValueSize(n int) Option {
 	}
 }
 
+// RetrainMode selects where index retrains (segment merges, node
+// expands, buffer flushes, full rebuilds) run relative to Put.
+type RetrainMode int
+
+const (
+	// RetrainInline leaves retrains exactly where the index runs them
+	// today: on the inserting goroutine, with no pool attached. This is
+	// the default.
+	RetrainInline RetrainMode = iota
+	// RetrainSync attaches a zero-worker pool: retrains still run on
+	// the inserting goroutine, but through the pool's accounting, so
+	// telemetry reports the foreground stall they cost.
+	RetrainSync
+	// RetrainAsync attaches a worker pool: retrains run in the
+	// background and are installed copy-on-write, off the Put tail.
+	RetrainAsync
+)
+
+// retrainWorkers sizes RetrainAsync's pool: a small fraction of the
+// machine so background rebuilds never crowd out foreground work.
+func retrainWorkers() int {
+	w := parallel.Workers(8) / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParseRetrainMode maps the CLI spelling of a retrain mode
+// (inline|sync|async) to its value.
+func ParseRetrainMode(s string) (RetrainMode, bool) {
+	switch s {
+	case "inline":
+		return RetrainInline, true
+	case "sync":
+		return RetrainSync, true
+	case "async":
+		return RetrainAsync, true
+	}
+	return RetrainInline, false
+}
+
+// WithRetrainMode selects the retraining mode. It only has an effect
+// when the index implements index.AsyncRetrainer (the capability is
+// re-resolved on every index swap, so Recover and Compact keep the
+// chosen mode).
+func WithRetrainMode(m RetrainMode) Option {
+	return func(s *Store) { s.retrainMode = m }
+}
+
 // Errors returned by Store operations.
 var (
 	ErrEmptyValue  = errors.New("viper: empty values are not supported")
@@ -120,6 +173,13 @@ func Open(region *pmem.Region, idx index.Index, opts ...Option) *Store {
 	for _, o := range opts {
 		o(s)
 	}
+	switch s.retrainMode {
+	case RetrainSync:
+		s.pool = retrain.NewPool(0, 0)
+	case RetrainAsync:
+		s.pool = retrain.NewPool(retrainWorkers(), 0)
+	}
+	s.attachPool()
 	if s.sink != nil {
 		s.met = s.sink.StoreSink()
 		s.sink.SetPMemProbe(func() telemetry.PMemSnapshot {
@@ -136,8 +196,42 @@ func Open(region *pmem.Region, idx index.Index, opts ...Option) *Store {
 			s.mu.Unlock()
 			return telemetry.CollectIndexStats(cur)
 		})
+		if s.pool != nil {
+			pool := s.pool
+			s.sink.SetRetrainProbe(func() telemetry.RetrainSnapshot {
+				st := pool.Stats()
+				return telemetry.RetrainSnapshot{
+					Workers: st.Workers, QueueDepth: st.QueueDepth,
+					Submitted: st.Submitted, Coalesced: st.Coalesced,
+					Executed: st.Executed, Inline: st.Inline,
+					BackgroundNs: st.BackgroundNs, ForegroundNs: st.ForegroundNs,
+				}
+			})
+		}
 	}
 	return s
+}
+
+// attachPool hands the store's retrain pool to the current index when
+// it supports background retraining. Indexes without the capability
+// silently keep their inline behavior.
+func (s *Store) attachPool() {
+	if s.pool != nil && s.seam.AsyncRetrain != nil {
+		s.seam.AsyncRetrain.SetRetrainPool(s.pool)
+	}
+}
+
+// RetrainMode reports the mode selected at Open.
+func (s *Store) RetrainMode() RetrainMode { return s.retrainMode }
+
+// DrainRetrains waits for in-flight background retrains and installs
+// their results. On single-writer indexes it must run from the writer
+// timeline with writers quiesced (the same stop-the-world contract as
+// Compact); with no pool or an inline-only index it is a no-op.
+func (s *Store) DrainRetrains() {
+	if s.seam.AsyncRetrain != nil {
+		s.seam.AsyncRetrain.DrainRetrains()
+	}
 }
 
 // setIndex installs idx and re-resolves its capability surface. Callers
@@ -147,6 +241,7 @@ func (s *Store) setIndex(idx index.Index) {
 	s.idx = idx
 	s.caps = index.CapsOf(idx)
 	s.seam = index.Seams(idx)
+	s.attachPool() // Recover/Compact/DropIndex keep the retrain mode
 }
 
 // Index exposes the volatile index (for stats such as Sizes).
