@@ -18,6 +18,9 @@
 //   - probe-discipline: telemetry reporter methods (RetrainStats) never
 //     read a plain integer counter field the package also writes, since
 //     probes call them from the snapshot goroutine.
+//   - epoch-discipline: epoch.Enter guards are released on every path
+//     out of the acquiring function and never escape it (no storing,
+//     passing, returning, or cross-goroutine capture of a pin).
 //
 // Everything is built on the standard library only: go/parser for
 // syntax, go/types for semantics, and the stdlib source importer for
@@ -91,7 +94,7 @@ type Analyzer struct {
 	RunModule func(*ModulePass)
 }
 
-// Suite returns the six pieceslint analyzers in reporting order.
+// Suite returns the seven pieceslint analyzers in reporting order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		CapsDiscipline,
@@ -100,6 +103,7 @@ func Suite() []*Analyzer {
 		HotPath,
 		UncheckedError,
 		ProbeDiscipline,
+		EpochDiscipline,
 	}
 }
 

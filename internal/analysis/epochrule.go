@@ -1,0 +1,460 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// epochPkgPath is the reclamation package whose Guard discipline this
+// analyzer enforces. The package itself is exempt (it constructs and
+// forwards guards as part of implementing them).
+const epochPkgPath = "learnedpieces/internal/epoch"
+
+// EpochDiscipline enforces the read-side pin protocol of the epoch
+// package: a Guard returned by Enter marks an active critical section,
+// and the reclamation proof only holds if the pin is released on every
+// path out of the acquiring function and never outlives it. Concretely:
+//
+//   - every Enter result is held in one local variable (not discarded,
+//     not stored in a field/global/composite, not aliased);
+//   - that local is Exited on every path — either a defer'd Exit or an
+//     explicit Exit before each return and before falling off the end;
+//   - the guard never escapes: not passed to another function, not
+//     returned, not captured by address;
+//   - a guard pinned inside a loop body is released within the same
+//     iteration.
+//
+// Function literals are independent critical-section scopes: a literal's
+// body is checked fresh, so a goroutine cannot inherit its spawner's
+// pin. The analysis is path-sensitive over if/switch/for in the
+// conservative direction — a guard still pinned on any surviving path
+// is a finding.
+var EpochDiscipline = &Analyzer{
+	Name: "epoch-discipline",
+	Doc:  "epoch guards are released on every path and never escape the acquiring function",
+	Run:  runEpochDiscipline,
+}
+
+func runEpochDiscipline(pass *Pass) {
+	if pass.Pkg.Pkg.Path() == epochPkgPath {
+		return
+	}
+	c := &epochChecker{pass: pass, info: pass.Pkg.Info, reported: make(map[token.Pos]bool)}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkBody(fd.Body)
+		}
+	}
+}
+
+type epochChecker struct {
+	pass *Pass
+	info *types.Info
+	// reported dedupes per-pin-site findings: one leaking pin reached by
+	// several returns is one defect.
+	reported map[token.Pos]bool
+}
+
+// epochState is the walker's abstract state: which guard locals are
+// pinned (and where they were acquired), which are covered by a
+// deferred Exit, and whether every path through the statements so far
+// has returned.
+type epochState struct {
+	pinned     map[*types.Var]token.Pos
+	deferred   map[*types.Var]bool
+	terminated bool
+}
+
+func newEpochState() *epochState {
+	return &epochState{pinned: map[*types.Var]token.Pos{}, deferred: map[*types.Var]bool{}}
+}
+
+func (s *epochState) clone() *epochState {
+	n := newEpochState()
+	for v, p := range s.pinned {
+		n.pinned[v] = p
+	}
+	for v := range s.deferred {
+		n.deferred[v] = true
+	}
+	n.terminated = s.terminated
+	return n
+}
+
+// merge folds a branch outcome into s: pins surviving any non-returning
+// branch stay pinned (conservative), and s terminates only if every
+// branch did.
+func (s *epochState) merge(branches ...*epochState) {
+	live := false
+	merged := newEpochState()
+	for _, b := range branches {
+		if b.terminated {
+			continue
+		}
+		live = true
+		for v, p := range b.pinned {
+			merged.pinned[v] = p
+		}
+		for v := range b.deferred {
+			merged.deferred[v] = true
+		}
+	}
+	if !live {
+		s.terminated = true
+		return
+	}
+	s.pinned, s.deferred = merged.pinned, merged.deferred
+}
+
+// checkBody analyzes one function (or function literal) body as an
+// independent critical-section scope.
+func (c *epochChecker) checkBody(body *ast.BlockStmt) {
+	s := newEpochState()
+	c.walkStmt(body, s)
+	if !s.terminated {
+		c.reportLeaks(s, "the function falls off the end while pinned")
+	}
+}
+
+func (c *epochChecker) reportLeaks(s *epochState, why string) {
+	for v, pos := range s.pinned {
+		if s.deferred[v] || c.reported[pos] {
+			continue
+		}
+		c.reported[pos] = true
+		c.pass.Reportf(pos, "epoch guard %s is not released on every path: %s — Exit before every return or defer it", v.Name(), why)
+	}
+}
+
+// reportEscape flags a guard leaving the discipline's reach and unpins
+// it so one defect does not cascade into leak findings downstream.
+func (c *epochChecker) reportEscape(pos token.Pos, s *epochState, e ast.Expr, format string, args ...interface{}) {
+	c.pass.Reportf(pos, format, args...)
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := c.info.Uses[id].(*types.Var); ok {
+			delete(s.pinned, v)
+			delete(s.deferred, v)
+		}
+	}
+}
+
+func (c *epochChecker) walkStmt(st ast.Stmt, s *epochState) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			c.walkStmt(inner, s)
+		}
+	case *ast.AssignStmt:
+		c.walkAssign(st, s)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if c.isEnterCall(val) && i < len(vs.Names) {
+						c.pinIdent(vs.Names[i], val.Pos(), s)
+						c.checkExprArgsOnly(val, s)
+						continue
+					}
+					c.checkExpr(val, s)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv := c.exitReceiver(call); recv != nil {
+				if v, ok := c.info.Uses[recv].(*types.Var); ok {
+					delete(s.pinned, v)
+					delete(s.deferred, v)
+				}
+				return
+			}
+			if c.isEnterCall(call) {
+				c.pass.Reportf(call.Pos(), "Enter result discarded; an unheld pin can never be released")
+				c.checkExprArgsOnly(call, s)
+				return
+			}
+		}
+		c.checkExpr(st.X, s)
+	case *ast.DeferStmt:
+		if recv := c.exitReceiver(st.Call); recv != nil {
+			if v, ok := c.info.Uses[recv].(*types.Var); ok {
+				s.deferred[v] = true
+			}
+			return
+		}
+		c.checkExpr(st.Call, s)
+	case *ast.GoStmt:
+		c.checkExpr(st.Call, s)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			if c.isGuardExpr(r) {
+				c.reportEscape(r.Pos(), s, r, "epoch guard returned from the acquiring function; pins must not outlive their critical section")
+				continue
+			}
+			c.checkExpr(r, s)
+		}
+		c.reportLeaks(s, "a return is reached while pinned")
+		s.terminated = true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, s)
+		}
+		c.checkExpr(st.Cond, s)
+		then := s.clone()
+		c.walkStmt(st.Body, then)
+		els := s.clone()
+		if st.Else != nil {
+			c.walkStmt(st.Else, els)
+		}
+		s.merge(then, els)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, s)
+		}
+		if st.Cond != nil {
+			c.checkExpr(st.Cond, s)
+		}
+		body := s.clone()
+		c.walkStmt(st.Body, body)
+		if st.Post != nil {
+			c.walkStmt(st.Post, body)
+		}
+		c.reportLoopPins(s, body)
+	case *ast.RangeStmt:
+		c.checkExpr(st.X, s)
+		body := s.clone()
+		c.walkStmt(st.Body, body)
+		c.reportLoopPins(s, body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			c.checkExpr(st.Tag, s)
+		}
+		c.walkClauses(st.Body, s)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, s)
+		}
+		c.walkClauses(st.Body, s)
+	case *ast.SelectStmt:
+		c.walkClauses(st.Body, s)
+	case *ast.LabeledStmt:
+		c.walkStmt(st.Stmt, s)
+	case *ast.SendStmt:
+		if c.isGuardExpr(st.Value) {
+			c.reportEscape(st.Value.Pos(), s, st.Value, "epoch guard sent on a channel; pins must stay in the acquiring function")
+			return
+		}
+		c.checkExpr(st.Chan, s)
+		c.checkExpr(st.Value, s)
+	case *ast.IncDecStmt:
+		c.checkExpr(st.X, s)
+	}
+}
+
+// walkClauses merges the case bodies of a switch or select: every
+// clause starts from the pre-switch state; the result is terminated only
+// if a default/else clause exists and all clauses return.
+func (c *epochChecker) walkClauses(body *ast.BlockStmt, s *epochState) {
+	var branches []*epochState
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.checkExpr(e, s)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.walkStmt(cl.Comm, s)
+			}
+			stmts = cl.Body
+		}
+		b := s.clone()
+		for _, inner := range stmts {
+			c.walkStmt(inner, b)
+		}
+		branches = append(branches, b)
+	}
+	if !hasDefault {
+		branches = append(branches, s.clone()) // fall-through path
+	}
+	s.merge(branches...)
+}
+
+// reportLoopPins flags guards acquired inside a loop body that are
+// still pinned when the iteration ends.
+func (c *epochChecker) reportLoopPins(before, after *epochState) {
+	if after.terminated {
+		return
+	}
+	for v, pos := range after.pinned {
+		if _, outer := before.pinned[v]; outer || after.deferred[v] || c.reported[pos] {
+			continue
+		}
+		c.reported[pos] = true
+		c.pass.Reportf(pos, "epoch guard %s is still pinned at the end of a loop iteration; Exit within the iteration that Entered", v.Name())
+	}
+}
+
+func (c *epochChecker) walkAssign(st *ast.AssignStmt, s *epochState) {
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, rhs := range st.Rhs {
+			if c.isEnterCall(rhs) {
+				if id, ok := st.Lhs[i].(*ast.Ident); ok {
+					c.pinIdent(id, rhs.Pos(), s)
+					c.checkExprArgsOnly(rhs, s)
+					continue
+				}
+				c.pass.Reportf(rhs.Pos(), "epoch guard must be held in a local variable, not stored through %s", exprKind(st.Lhs[i]))
+				c.checkExprArgsOnly(rhs, s)
+				continue
+			}
+			if c.isGuardExpr(rhs) {
+				if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue // discarding to blank is not an alias
+				}
+				c.reportEscape(rhs.Pos(), s, rhs, "epoch guard aliased or stored; hold the Enter result in one local so the release discipline stays checkable")
+				continue
+			}
+			c.checkExpr(rhs, s)
+		}
+		return
+	}
+	for _, rhs := range st.Rhs {
+		c.checkExpr(rhs, s)
+	}
+}
+
+// pinIdent marks the local bound to an Enter result as pinned.
+func (c *epochChecker) pinIdent(id *ast.Ident, pos token.Pos, s *epochState) {
+	var v *types.Var
+	if def, ok := c.info.Defs[id].(*types.Var); ok {
+		v = def
+	} else if use, ok := c.info.Uses[id].(*types.Var); ok {
+		v = use
+	}
+	if v != nil {
+		s.pinned[v] = pos
+	}
+}
+
+// checkExpr scans an expression for guard escapes and gives nested
+// function literals their own fresh critical-section scope.
+func (c *epochChecker) checkExpr(e ast.Expr, s *epochState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkBody(n.Body)
+			return false
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if c.isGuardExpr(arg) {
+					c.reportEscape(arg.Pos(), s, arg, "epoch guard passed to a call; Exit in the function that Entered instead of handing the pin around")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.isGuardExpr(v) {
+					c.reportEscape(v.Pos(), s, v, "epoch guard stored in a composite literal; pins must stay in a local variable")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && c.isGuardExpr(n.X) {
+				c.reportEscape(n.X.Pos(), s, n.X, "address of epoch guard taken; an aliased pin defeats the release discipline")
+			}
+		}
+		return true
+	})
+}
+
+// checkExprArgsOnly scans only the arguments of an Enter call (the call
+// itself is the legitimate pin source).
+func (c *epochChecker) checkExprArgsOnly(e ast.Expr, s *epochState) {
+	if call, ok := e.(*ast.CallExpr); ok {
+		for _, arg := range call.Args {
+			c.checkExpr(arg, s)
+		}
+	}
+}
+
+// isEnterCall reports whether e is a call producing an epoch.Guard —
+// epoch.Enter, Manager.Enter, or any future constructor with the same
+// contract.
+func (c *epochChecker) isEnterCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isGuardType(c.info.TypeOf(call))
+}
+
+// isGuardExpr reports whether e evaluates to a Guard — a held pin (or a
+// raw Enter call, which in an escape position is equally an escape).
+func (c *epochChecker) isGuardExpr(e ast.Expr) bool {
+	return isGuardType(c.info.TypeOf(e))
+}
+
+// exitReceiver returns the receiver identifier of a g.Exit() call, or
+// nil if call is not an Exit on a plain local.
+func (c *epochChecker) exitReceiver(call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Exit" {
+		return nil
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != epochPkgPath {
+		return nil
+	}
+	id, _ := sel.X.(*ast.Ident)
+	return id
+}
+
+// isGuardType reports whether t is epoch.Guard.
+func isGuardType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Guard" && obj.Pkg() != nil && obj.Pkg().Path() == epochPkgPath
+}
+
+// exprKind names an assignment target class for diagnostics.
+func exprKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field or package selector"
+	case *ast.IndexExpr:
+		return "an index expression"
+	case *ast.StarExpr:
+		return "a pointer dereference"
+	default:
+		return "a non-local target"
+	}
+}

@@ -100,6 +100,7 @@ func TestGolden(t *testing.T) {
 		{"hotpath", "hotpath"},
 		{"unchecked-error", "errcheck"},
 		{"probe-discipline", "probe"},
+		{"epoch-discipline", "epoch"},
 	}
 	loader := testLoader(t)
 	for _, tc := range cases {
@@ -180,7 +181,7 @@ func TestRepoClean(t *testing.T) {
 
 // TestSuiteWiring pins the analyzer set and lookup.
 func TestSuiteWiring(t *testing.T) {
-	want := []string{"caps-discipline", "pmem-discipline", "atomic-discipline", "hotpath", "unchecked-error", "probe-discipline"}
+	want := []string{"caps-discipline", "pmem-discipline", "atomic-discipline", "hotpath", "unchecked-error", "probe-discipline", "epoch-discipline"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

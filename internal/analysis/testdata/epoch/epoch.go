@@ -1,0 +1,111 @@
+// Package epochdata exercises the epoch-discipline analyzer: guards
+// must be released on every path out of the acquiring function and must
+// never escape it; function literals are independent scopes.
+package epochdata
+
+import "learnedpieces/internal/epoch"
+
+// holder exists to give guards somewhere illegal to hide.
+type holder struct{ g epoch.Guard }
+
+var sink uint64
+
+// OKExplicit releases on both paths explicitly.
+func OKExplicit(key uint64) (uint64, bool) {
+	g := epoch.Enter(key)
+	if key == 0 {
+		g.Exit()
+		return 0, false
+	}
+	sink = key
+	g.Exit()
+	return key, true
+}
+
+// OKDefer covers every path with one deferred Exit.
+func OKDefer(key uint64) uint64 {
+	g := epoch.Enter(key)
+	defer g.Exit()
+	if key == 0 {
+		return 0
+	}
+	return key
+}
+
+// OKLoop pins and releases within each iteration.
+func OKLoop(keys []uint64) {
+	for _, k := range keys {
+		g := epoch.Enter(k)
+		sink += k
+		g.Exit()
+	}
+}
+
+// LeakOnEarlyReturn forgets the pin on the early-return path.
+func LeakOnEarlyReturn(key uint64) uint64 {
+	g := epoch.Enter(key) // want "epoch guard g is not released on every path"
+	if key == 0 {
+		return 0
+	}
+	g.Exit()
+	return key
+}
+
+// LeakFallsOff releases only in one branch and then falls off the end.
+func LeakFallsOff(key uint64) {
+	g := epoch.Enter(key) // want "epoch guard g is not released on every path"
+	if key == 0 {
+		g.Exit()
+	}
+	sink = key
+}
+
+// LeakInLoop holds the pin past the end of an iteration.
+func LeakInLoop(keys []uint64) {
+	for _, k := range keys {
+		g := epoch.Enter(k) // want "still pinned at the end of a loop iteration"
+		if k == 0 {
+			g.Exit()
+		}
+	}
+}
+
+// Discard drops the guard on the floor.
+func Discard(key uint64) {
+	epoch.Enter(key) // want "Enter result discarded"
+}
+
+// StoreInField parks the pin where no release discipline can see it.
+func StoreInField(h *holder, key uint64) {
+	h.g = epoch.Enter(key) // want "epoch guard must be held in a local variable"
+}
+
+// Alias re-binds the pin, splitting acquire from release.
+func Alias(key uint64) {
+	g := epoch.Enter(key)
+	h := g // want "epoch guard aliased or stored"
+	h.Exit()
+}
+
+// PassGuard hands the pin to another function.
+func PassGuard(key uint64) {
+	g := epoch.Enter(key)
+	release(g) // want "epoch guard passed to a call"
+}
+
+func release(g epoch.Guard) { g.Exit() }
+
+// ReturnGuard lets the pin outlive its critical section.
+func ReturnGuard(key uint64) epoch.Guard {
+	return epoch.Enter(key) // want "epoch guard returned"
+}
+
+// ClosureIsFreshScope: the literal leaks even though the enclosing
+// function is clean — each function body is its own scope.
+func ClosureIsFreshScope(key uint64) func() {
+	return func() {
+		g := epoch.Enter(key) // want "epoch guard g is not released on every path"
+		sink = key
+		_ = g
+	}
+}

@@ -118,6 +118,7 @@ func All() []Experiment {
 		{"extapex", "Extension: APEX persistent index vs Viper+ALEX", RunExtAPEX},
 		{"cross", "Extension: structure x approximation algorithm cross (§IV-C open question)", RunCross},
 		{"retrain", "Extension: background retraining: insert-heavy Put tail, sync vs async", RunRetrain},
+		{"scale", "Extension: lock-free read path: thread scaling, pure reads & 10% writer mix", RunScale},
 	}
 }
 

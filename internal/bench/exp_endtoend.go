@@ -202,6 +202,22 @@ func (l *lockedIndex) Get(key uint64) (uint64, bool) {
 	return l.Index.Get(key)
 }
 
+// GetBatch implements index.BatchGetter under one RLock for the whole
+// batch: the lock is taken once per batch instead of once per key, which
+// is the best a coarse reader-writer lock can do for batched lookups.
+// The inner batch kernel is used when the wrapped index has one.
+func (l *lockedIndex) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if b := index.Seams(l.Index).Batch; b != nil {
+		b.GetBatch(keys, vals, found)
+		return
+	}
+	for i, k := range keys {
+		vals[i], found[i] = l.Index.Get(k)
+	}
+}
+
 func (l *lockedIndex) Insert(key, value uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -222,10 +238,11 @@ func (l *lockedIndex) Name() string { return l.Index.Name() + "+lock" }
 
 // Caps implements index.Capser. The embedded field is the narrow
 // index.Index interface, so none of the inner type's optional interfaces
-// are promoted — the wrapper's real surface is exactly point reads and
-// writes, made concurrent-safe (and InsertReplace exact) by the lock.
+// are promoted — the wrapper's real surface is exactly point reads
+// (single and batched) and writes, made concurrent-safe (and
+// InsertReplace exact) by the lock.
 func (l *lockedIndex) Caps() index.Caps {
-	return index.Caps{Upsert: true, ConcurrentReads: true, ConcurrentWrites: true}
+	return index.Caps{Upsert: true, BatchGet: true, ConcurrentReads: true, ConcurrentWrites: true}
 }
 
 // RunFig14 reproduces Fig 14: multi-threaded write-only. XIndex writes

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/epoch"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/sharded"
+	"learnedpieces/internal/stats"
+	"learnedpieces/internal/workload"
+)
+
+// RunScale is the PR 6 proof experiment: read-path thread scaling with
+// the lock-free Get path (epoch pins + atomically published views + the
+// sharded read-indicator protocol). It sweeps cfg.Threads twice per
+// index — pure reads, then a 10% writer mix (every tenth op overwrites
+// its key) — and reports throughput, speedup over the smallest thread
+// count, and the fraction of ideal (linear) scaling that speedup
+// represents. On real multi-core hardware the lock-free path should hold
+// ×ideal near 1.0 where a coarse RWMutex (btree+lock, the control)
+// collapses; on a single hardware thread every curve is flat and only
+// the relative single-thread overheads are meaningful.
+//
+// The epoch manager's counters are printed after the sweep so a run
+// doubles as a smoke test of the reclamation pipeline: retired views
+// must drain (freed catches up with retired) once the readers exit.
+func RunScale(cfg Config) error {
+	keys := dataset.Generate(dataset.YCSBNormal, cfg.N, cfg.Seed)
+	t := stats.NewTable(fmt.Sprintf("Scale: read-path thread scaling, YCSB (n=%d)", cfg.N),
+		"index", "mode", "threads", "Mops/s", "speedup", "x-ideal")
+
+	builders := []struct {
+		name     string
+		readOnly bool // index cannot absorb the writer mix
+		mk       func() index.Index
+	}{
+		{"rmi", true, func() index.Index { return mustEntry("rmi").New() }},
+		{"xindex", false, func() index.Index { return mustEntry("xindex").New() }},
+		{"btree+sharded", false, func() index.Index {
+			return sharded.New(func() index.Index { return mustEntry("btree").New() },
+				sharded.BoundariesFromSample(keys, 32))
+		}},
+		{"btree+lock", false, func() index.Index {
+			return &lockedIndex{Index: mustEntry("btree").New()}
+		}},
+	}
+
+	for _, b := range builders {
+		modes := []string{"read", "mixed10"}
+		if b.readOnly {
+			modes = modes[:1]
+		}
+		for _, mode := range modes {
+			s, err := cfg.buildStore(b.mk(), keys)
+			if err != nil {
+				return fmt.Errorf("%s: %w", b.name, err)
+			}
+			var baseMops float64
+			baseThreads := 0
+			for _, threads := range cfg.Threads {
+				sum, err := runScaleSweep(cfg, s, keys, threads, mode == "mixed10")
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", b.name, mode, err)
+				}
+				m := mops(sum)
+				if baseThreads == 0 {
+					baseThreads, baseMops = threads, m
+				}
+				speedup := m / baseMops
+				ideal := float64(threads) / float64(baseThreads)
+				t.AddRow(b.name, mode, threads,
+					fmt.Sprintf("%.3f", m),
+					fmt.Sprintf("%.2f", speedup),
+					fmt.Sprintf("%.2f", speedup/ideal))
+			}
+		}
+	}
+	cfg.render(t)
+
+	st := epoch.GlobalStats()
+	fmt.Fprintf(cfg.Out, "epoch: clock=%d advances=%d retired=%d freed=%d pending=%d reads=%d retries=%d fallbacks=%d\n",
+		st.Epoch, st.Advances, st.Retired, st.Freed, st.Pending,
+		st.ReadAttempts, st.ReadRetries, st.ReadFallbacks)
+	return nil
+}
+
+// runScaleSweep runs one (threads, mode) cell: every worker replays its
+// own read stream against the shared store; in the writer mix every
+// tenth op becomes an overwrite of the same key. Ops are split across
+// workers so total work is constant as threads grow — scaling shows up
+// as wall-clock shrinking, not as more work done.
+func runScaleSweep(cfg Config, s scaleStore, keys []uint64, threads int, mixed bool) (stats.Summary, error) {
+	h := stats.NewHistogram()
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	runtime.GC()
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := cfg.value()
+			ops := workload.ReadStream(keys, cfg.Ops/threads, cfg.Seed+int64(w))
+			for i, op := range ops {
+				t0 := time.Now()
+				if mixed && i%10 == 0 {
+					if err := s.Put(op.Key, v); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, ok := s.Get(op.Key); !ok {
+					errs <- fmt.Errorf("loaded key %d missing", op.Key)
+					return
+				}
+				h.RecordSince(t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return stats.Summary{}, err
+	}
+	return stats.Summarize("", h, time.Since(start)), nil
+}
+
+// scaleStore is the slice of the store the sweep drives — satisfied by
+// *viper.Store; an interface so the sweep is trivially testable.
+type scaleStore interface {
+	Get(key uint64) ([]byte, bool)
+	Put(key uint64, value []byte) error
+}

@@ -1,0 +1,59 @@
+package epoch
+
+import "sync/atomic"
+
+// Optimistic-read accounting for the seqlock-style validated readers
+// (internal/sharded). The counters are package-global — like the
+// search-kernel stats, the read protocol is process-wide policy, not
+// per-store state — and striped so the hot path's one atomic add lands
+// on a line private to the caller's stripe.
+
+const readStripes = 16
+
+type padCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+var (
+	readAttempts  [readStripes]padCounter
+	readRetries   [readStripes]padCounter
+	readFallbacks [readStripes]padCounter
+)
+
+// ReadAttempt counts one optimistic read attempt (the denominator of
+// the retry rate). stripe is any caller-stable value (shard index).
+//
+//pieces:hotpath
+func ReadAttempt(stripe uint64) { readAttempts[stripe&(readStripes-1)].v.Add(1) }
+
+// ReadRetry counts one failed validation (the reader observed a writer
+// and retried).
+//
+//pieces:hotpath
+func ReadRetry(stripe uint64) { readRetries[stripe&(readStripes-1)].v.Add(1) }
+
+// ReadFallback counts one optimistic read that exhausted its retries
+// and fell back to the shard's writer lock.
+//
+//pieces:hotpath
+func ReadFallback(stripe uint64) { readFallbacks[stripe&(readStripes-1)].v.Add(1) }
+
+func sum(cs *[readStripes]padCounter) int64 {
+	var t int64
+	for i := range cs {
+		t += cs[i].v.Load()
+	}
+	return t
+}
+
+// GlobalStats reports the default manager's counters plus the
+// process-wide optimistic-read counters — the shape telemetry snapshots
+// embed.
+func GlobalStats() Stats {
+	st := def.Stats()
+	st.ReadAttempts = sum(&readAttempts)
+	st.ReadRetries = sum(&readRetries)
+	st.ReadFallbacks = sum(&readFallbacks)
+	return st
+}

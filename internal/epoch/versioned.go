@@ -1,0 +1,47 @@
+package epoch
+
+import "sync/atomic"
+
+// Versioned is an atomically published immutable snapshot: readers Load
+// the current *T with one atomic pointer read, writers Publish a
+// replacement built copy-on-write and the displaced snapshot is retired
+// through the epoch manager. It is the publication half of the
+// lock-free read design; viper.Store keeps its (index, caps, seams)
+// triple in one.
+//
+// The zero Versioned is valid: Load returns nil until the first
+// Publish, and a nil manager means the package Default.
+type Versioned[T any] struct {
+	p atomic.Pointer[T]
+	m *Manager
+}
+
+// NewVersioned returns a holder over m (nil = Default) seeded with v.
+func NewVersioned[T any](m *Manager, v *T) *Versioned[T] {
+	h := &Versioned[T]{m: m}
+	h.p.Store(v)
+	return h
+}
+
+// Load returns the current snapshot. Callers on reclamation-sensitive
+// paths must hold an epoch pin (Enter) across the load and every
+// dereference of the result.
+//
+//pieces:hotpath
+func (h *Versioned[T]) Load() *T { return h.p.Load() }
+
+// Publish installs n as the current snapshot, retires the displaced
+// one, and nudges the epoch forward. Publish does not serialize
+// writers; callers that race must order themselves (viper's mutation
+// paths hold s.mu).
+func (h *Versioned[T]) Publish(n *T) {
+	old := h.p.Swap(n)
+	m := h.m
+	if m == nil {
+		m = def
+	}
+	if old != nil {
+		m.Retire(old)
+	}
+	m.Advance()
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
 	"learnedpieces/internal/retrain"
@@ -446,6 +447,10 @@ func (ix *Index) retrainSegment(old *segment) {
 		nt.firsts[0] = cur.firsts[0]
 	}
 	ix.tab.Store(nt)
+	// Retire the displaced table and the merged-away segment so
+	// epoch-pinned readers finish their descent before reclamation.
+	epoch.Retire(cur)
+	epoch.Retire(old)
 	ix.retrains.Add(1)
 	ix.retrainNs.Add(time.Since(start).Nanoseconds())
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"learnedpieces/internal/btree"
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
 	"learnedpieces/internal/retrain"
@@ -476,6 +477,9 @@ func (ix *Index) installDeposits() bool {
 				_ = ix.insert(op.key, op.val, false)
 			}
 		}
+		// The displaced leaf leaves the tree here; retire it so in-flight
+		// epoch-pinned readers finish with it before it is reclaimed.
+		epoch.Retire(d.old)
 	}
 	return true
 }

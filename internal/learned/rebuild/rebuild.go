@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/retrain"
 	"learnedpieces/internal/search"
@@ -130,6 +131,10 @@ func (ix *Index) install() {
 		if dep.gen != ix.gen {
 			continue
 		}
+		// Retire the displaced inner structure: a lock-free reader that
+		// loaded it through a store view finishes traversing it before
+		// the epoch manager lets it go.
+		epoch.Retire(ix.inner)
 		ix.inner = dep.inner
 		ix.baseK, ix.baseV = dep.baseK, dep.baseV
 		ix.frozenK, ix.frozenV, ix.frozenD = nil, nil, nil

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/pla"
 	"learnedpieces/internal/retrain"
@@ -337,6 +338,10 @@ func (ix *Index) finishCompact(g *group, data *groupData, buf *delta) {
 	g.buf = g.tmp
 	g.tmp = nil
 	g.compacting = false
+	// The pre-merge data and delta are displaced; retire them for the
+	// epoch-pinned readers that may still be walking them.
+	epoch.Retire(data)
+	epoch.Retire(buf)
 	if len(merged.keys) > 2*ix.cfg.GroupSize {
 		ix.splitGroup(g, merged) // releases g.mu
 		ix.retrains.Add(1)
@@ -448,6 +453,10 @@ func (ix *Index) splitGroup(g *group, merged *groupData) {
 		}
 	}
 	ix.root.Store(buildRoot(groups))
+	// Retire the displaced root array and the split group: readers that
+	// resolved through the old root may still be inside either.
+	epoch.Retire(cur)
+	epoch.Retire(g)
 	ix.splitMu.Unlock()
 
 	// The carried-over buffer can itself be over threshold when the

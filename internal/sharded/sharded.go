@@ -1,20 +1,44 @@
 // Package sharded turns a single-writer ordered index into a
 // concurrently writable one by range-partitioning the key space into
-// shards, each backed by its own inner index under a RWMutex. This is
-// the honest Go stand-in for the paper's natively concurrent traditional
-// baselines (Masstree-class) in the Fig 14 multi-threaded write
-// experiment: writers to different key ranges proceed in parallel, scans
-// remain globally ordered.
+// shards, each backed by its own inner index. This is the honest Go
+// stand-in for the paper's natively concurrent traditional baselines
+// (Masstree-class) in the Fig 14 multi-threaded write experiment:
+// writers to different key ranges proceed in parallel, scans remain
+// globally ordered.
+//
+// Reads are lock-free on the fast path. Each shard carries a version
+// stamp (odd = a writer is mutating) plus a registered-reader count;
+// a reader checks the stamp, registers, re-validates the stamp, and
+// only then traverses the inner structure — the writer, who is the
+// only mutator (per-shard single-writer under the shard mutex), bumps
+// the stamp to odd and waits for registered readers to drain before
+// touching the structure. Unlike a raw seqlock this never lets a read
+// overlap a mutation (which Go's race detector would rightly flag);
+// like one, the uncontended read path is two atomic adds and two
+// atomic loads, with no mutex and no cache-line ping-pong between
+// readers of different shards. Readers that keep losing the validation
+// race fall back to the shard's writer mutex; both events are counted
+// in the epoch package's optimistic-read telemetry.
 package sharded
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/retrain"
 )
+
+// optimisticRetries bounds the validation spins before a reader gives
+// up and takes the shard mutex: long enough to ride out a stamp bump,
+// short enough that a reader stuck behind a slow mutation (an inline
+// retrain can take milliseconds) parks on the mutex instead of burning
+// a core.
+const optimisticRetries = 128
 
 // Index is the range-partitioned wrapper.
 type Index struct {
@@ -24,9 +48,66 @@ type Index struct {
 	scannable  bool // all shards implement index.Scanner (one factory => uniform)
 }
 
+// shard is one partition. seq and active are the read-protocol state
+// (see the package comment), each padded onto its own cache line so a
+// writer draining active does not collide with readers bumping it on a
+// neighbouring shard. mu serializes writers (and carries the fallback
+// read path); the inner index itself is only ever mutated by the mu
+// holder after the reader drain.
 type shard struct {
-	mu  sync.RWMutex
+	seq    atomic.Uint64 // version stamp: odd while a writer is mutating
+	_      [56]byte
+	active atomic.Int64 // registered optimistic readers
+	_      [56]byte
+
+	mu  sync.Mutex // writers; also the reader fallback
 	idx index.Index
+}
+
+// beginRead registers the caller as an optimistic reader. On true the
+// caller may traverse the inner index without locks until endRead; on
+// false a writer is (or was just) active and the caller must retry or
+// fall back. The re-validation after registering is what closes the
+// race with a writer that bumped the stamp between our first load and
+// our Add: either the writer's drain sees our registration and waits,
+// or we see its odd stamp and deregister.
+//
+//pieces:hotpath
+func (sh *shard) beginRead() bool {
+	if sh.seq.Load()&1 != 0 {
+		return false
+	}
+	sh.active.Add(1)
+	if sh.seq.Load()&1 != 0 {
+		sh.active.Add(-1)
+		return false
+	}
+	return true
+}
+
+// endRead deregisters an optimistic reader.
+//
+//pieces:hotpath
+func (sh *shard) endRead() { sh.active.Add(-1) }
+
+// lockWrite takes the shard's writer role: serialize against other
+// writers, announce the mutation (odd stamp — new readers back off),
+// then wait for registered readers to drain. Announcing first gives
+// the writer preference: a steady stream of readers cannot starve it,
+// because none of them can re-register against an odd stamp.
+func (sh *shard) lockWrite() {
+	sh.mu.Lock()
+	sh.seq.Add(1)
+	for sh.active.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// unlockWrite publishes the mutation (even stamp) and releases the
+// writer role.
+func (sh *shard) unlockWrite() {
+	sh.seq.Add(1)
+	sh.mu.Unlock()
 }
 
 // BoundariesFromSample picks shard boundaries from a sorted key sample so
@@ -65,7 +146,7 @@ func (s *Index) Caps() index.Caps {
 	inner := index.CapsOf(s.shards[0].idx)
 	return index.Caps{
 		Bulk:             true, // per-shard bulk load with insert fallback
-		Upsert:           true, // check+insert under the shard lock
+		Upsert:           true, // check+insert under the shard writer role
 		Scan:             s.scannable,
 		Delete:           inner.Delete,
 		Sized:            inner.Sized,
@@ -83,40 +164,43 @@ func (s *Index) Caps() index.Caps {
 // are per-structure pointers, so shards never coalesce each other away.
 func (s *Index) SetRetrainPool(p *retrain.Pool) {
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.lockWrite()
 		if ar, ok := sh.idx.(index.AsyncRetrainer); ok {
 			ar.SetRetrainPool(p)
 		}
-		sh.mu.Unlock()
+		sh.unlockWrite()
 	}
 }
 
-// DrainRetrains drains every shard under its write lock — holding the
-// lock makes the draining goroutine the shard's writer timeline, which
-// is what the AsyncRetrainer contract requires of single-writer inners.
+// DrainRetrains drains every shard as its writer — holding the writer
+// role makes the draining goroutine the shard's writer timeline, which
+// is what the AsyncRetrainer contract requires of single-writer inners,
+// and the reader drain keeps the install invisible to optimistic reads.
 func (s *Index) DrainRetrains() {
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.lockWrite()
 		if ar, ok := sh.idx.(index.AsyncRetrainer); ok {
 			ar.DrainRetrains()
 		}
-		sh.mu.Unlock()
+		sh.unlockWrite()
 	}
 }
 
 // AvgDepth reports the Len-weighted average shard depth, zero when the
-// inner index type does not report depth (Caps masks Depth then).
+// inner index type does not report depth (Caps masks Depth then). A
+// rare probe path: it reads under the shard mutex (which excludes
+// mutators without disturbing optimistic readers).
 func (s *Index) AvgDepth() float64 {
 	var sum float64
 	var n int
 	for _, sh := range s.shards {
-		sh.mu.RLock()
+		sh.mu.Lock()
 		if d, ok := sh.idx.(index.DepthReporter); ok {
 			l := sh.idx.Len()
 			sum += d.AvgDepth() * float64(l)
 			n += l
 		}
-		sh.mu.RUnlock()
+		sh.mu.Unlock()
 	}
 	if n == 0 {
 		return 0
@@ -125,16 +209,17 @@ func (s *Index) AvgDepth() float64 {
 }
 
 // RetrainStats sums the shards' retraining counters (zero when the inner
-// index type does not report them; Caps masks Retrain then).
+// index type does not report them; Caps masks Retrain then). Like
+// AvgDepth it reads under the shard mutex.
 func (s *Index) RetrainStats() (count, totalNs int64) {
 	for _, sh := range s.shards {
-		sh.mu.RLock()
+		sh.mu.Lock()
 		if r, ok := sh.idx.(index.RetrainReporter); ok {
 			c, ns := r.RetrainStats()
 			count += c
 			totalNs += ns
 		}
-		sh.mu.RUnlock()
+		sh.mu.Unlock()
 	}
 	return count, totalNs
 }
@@ -142,46 +227,89 @@ func (s *Index) RetrainStats() (count, totalNs int64) {
 // Name implements index.Index.
 func (s *Index) Name() string { return s.name }
 
-func (s *Index) shardFor(key uint64) *shard {
-	i := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > key })
-	return s.shards[i]
+// shardIdx returns the shard number covering key.
+func (s *Index) shardIdx(key uint64) int {
+	return sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > key })
 }
 
-// Len returns the number of stored entries across shards.
+// shardLen reads one shard's Len under the read protocol.
+func shardLen(sh *shard, stripe uint64) int {
+	epoch.ReadAttempt(stripe)
+	for try := 0; try < optimisticRetries; try++ {
+		if sh.beginRead() {
+			n := sh.idx.Len()
+			sh.endRead()
+			return n
+		}
+		epoch.ReadRetry(stripe)
+		runtime.Gosched()
+	}
+	epoch.ReadFallback(stripe)
+	sh.mu.Lock()
+	n := sh.idx.Len()
+	sh.mu.Unlock()
+	return n
+}
+
+// Len returns the number of stored entries across shards. Each shard is
+// read under its own short registration, so a concurrent writer is
+// stalled for at most one shard's Len, not the whole sweep.
 func (s *Index) Len() int {
 	total := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		total += sh.idx.Len()
-		sh.mu.RUnlock()
+	for i, sh := range s.shards {
+		total += shardLen(sh, uint64(i))
 	}
 	return total
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The fast path takes no lock:
+// register on the shard, validate the version stamp, probe the inner
+// index, deregister. Contended attempts retry and finally park on the
+// shard mutex (counted as a fallback in the epoch read telemetry).
+//
+//pieces:hotpath
 func (s *Index) Get(key uint64) (uint64, bool) {
-	sh := s.shardFor(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.idx.Get(key)
+	i := s.shardIdx(key)
+	sh := s.shards[i]
+	epoch.ReadAttempt(uint64(i))
+	for try := 0; try < optimisticRetries; try++ {
+		if sh.beginRead() {
+			v, ok := sh.idx.Get(key)
+			sh.endRead()
+			return v, ok
+		}
+		epoch.ReadRetry(uint64(i))
+		runtime.Gosched()
+	}
+	return s.getSlow(sh, uint64(i), key)
+}
+
+// getSlow is the contended tail of Get: park on the shard mutex, which
+// excludes any mutator for the duration of the probe.
+func (s *Index) getSlow(sh *shard, stripe, key uint64) (uint64, bool) {
+	epoch.ReadFallback(stripe)
+	sh.mu.Lock()
+	v, ok := sh.idx.Get(key)
+	sh.mu.Unlock()
+	return v, ok
 }
 
 // Insert stores value under key; writers to different shards run in
 // parallel.
 func (s *Index) Insert(key, value uint64) error {
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh := s.shards[s.shardIdx(key)]
+	sh.lockWrite()
+	defer sh.unlockWrite()
 	return sh.idx.Insert(key, value)
 }
 
 // InsertReplace implements index.Upserter: the existence check and the
-// insert run under the same shard lock, so concurrent writers of the
-// same new key cannot both observe it as absent.
+// insert run under the same shard writer role, so concurrent writers of
+// the same new key cannot both observe it as absent.
 func (s *Index) InsertReplace(key, value uint64) (bool, error) {
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh := s.shards[s.shardIdx(key)]
+	sh.lockWrite()
+	defer sh.unlockWrite()
 	if up, ok := sh.idx.(index.Upserter); ok {
 		return up.InsertReplace(key, value)
 	}
@@ -191,13 +319,13 @@ func (s *Index) InsertReplace(key, value uint64) (bool, error) {
 
 // Delete removes key if the inner index supports deletion.
 func (s *Index) Delete(key uint64) bool {
-	sh := s.shardFor(key)
+	sh := s.shards[s.shardIdx(key)]
 	d, ok := sh.idx.(index.Deleter)
 	if !ok {
 		return false
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.lockWrite()
+	defer sh.unlockWrite()
 	return d.Delete(key)
 }
 
@@ -228,8 +356,8 @@ func (s *Index) BulkLoad(keys, values []uint64) error {
 // position in the full value array).
 func (s *Index) loadShard(i int, keys, values []uint64, offset int) error {
 	sh := s.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.lockWrite()
+	defer sh.unlockWrite()
 	var vals []uint64
 	if values != nil {
 		vals = values[offset : offset+len(keys)]
@@ -249,37 +377,70 @@ func (s *Index) loadShard(i int, keys, values []uint64, offset int) error {
 	return nil
 }
 
+// kv is one collected scan entry.
+type kv struct {
+	k, v uint64
+}
+
+// collectShard snapshots one shard's entries with key >= start (at most
+// need when need > 0) under the read protocol, appending to buf.
+func collectShard(sh *shard, stripe, start uint64, need int, buf []kv) []kv {
+	snap := func() {
+		sh.idx.(index.Scanner).Scan(start, 0, func(k, v uint64) bool {
+			buf = append(buf, kv{k, v})
+			return need <= 0 || len(buf) < need
+		})
+	}
+	epoch.ReadAttempt(stripe)
+	for try := 0; try < optimisticRetries; try++ {
+		if sh.beginRead() {
+			snap()
+			sh.endRead()
+			return buf
+		}
+		epoch.ReadRetry(stripe)
+		runtime.Gosched()
+	}
+	epoch.ReadFallback(stripe)
+	sh.mu.Lock()
+	snap()
+	sh.mu.Unlock()
+	return buf
+}
+
 // Scan visits entries with key >= start in ascending order across
-// shards. Each shard is read-locked in turn; the scan is not atomic with
-// respect to concurrent writers. When the inner index type does not
-// support scans (Caps masks Scan) the scan visits nothing — callers such
-// as viper.Store.Scan consult index.CapsOf(s).Scan first and surface an
-// error, instead of the old behaviour of silently stopping mid-scan at
-// the first unscannable shard.
+// shards. Each shard's entries are snapshotted under a short read
+// registration and the caller's fn runs on the snapshot *outside* any
+// shard state — so a slow consumer never blocks writers, and a shard is
+// held only for the time it takes to copy out (at most) the remaining
+// n entries. The scan is not atomic with respect to concurrent writers
+// across shards. When the inner index type does not support scans
+// (Caps masks Scan) the scan visits nothing — callers such as
+// viper.Store.Scan consult index.CapsOf(s).Scan first and surface an
+// error, instead of silently stopping mid-scan at the first
+// unscannable shard.
 func (s *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 	if !s.scannable {
 		return
 	}
 	count := 0
-	stopped := false
 	from := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > start })
-	for i := from; i < len(s.shards) && !stopped; i++ {
-		sh := s.shards[i]
-		sc := sh.idx.(index.Scanner)
-		sh.mu.RLock()
-		sc.Scan(start, 0, func(k, v uint64) bool {
+	var buf []kv
+	for i := from; i < len(s.shards); i++ {
+		need := 0
+		if n > 0 {
+			need = n - count
+		}
+		buf = collectShard(s.shards[i], uint64(i), start, need, buf[:0])
+		for _, e := range buf {
 			if n > 0 && count >= n {
-				stopped = true
-				return false
+				return
 			}
-			if !fn(k, v) {
-				stopped = true
-				return false
+			if !fn(e.k, e.v) {
+				return
 			}
 			count++
-			return true
-		})
-		sh.mu.RUnlock()
+		}
 	}
 }
 

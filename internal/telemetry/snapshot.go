@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/search"
 )
 
@@ -127,6 +128,11 @@ type Snapshot struct {
 	// every sink reports the same kernel state.
 	SearchKernel string               `json:"search_kernel"`
 	Search       []search.KernelStats `json:"search,omitempty"`
+	// Epoch is the reclamation pipeline's digest: the default manager's
+	// clock/advance/retire/free counters plus the optimistic-read
+	// attempt/retry/fallback counters. Process-global like Search — the
+	// epoch clock is shared by every store in the process.
+	Epoch epoch.Stats `json:"epoch"`
 }
 
 // Snapshot digests the sink. Recording may continue concurrently; the
@@ -177,6 +183,7 @@ func (s *Sink) Snapshot() Snapshot {
 		Retrain:      rt,
 		SearchKernel: search.CurrentPolicy().String(),
 		Search:       search.StatsSnapshot(),
+		Epoch:        epoch.GlobalStats(),
 	}
 	s.mu.Lock()
 	for _, st := range s.indexes {

@@ -147,9 +147,16 @@ func BenchmarkMultiGet(b *testing.B) {
 			})
 			for _, batch := range []int{8, 64, 256} {
 				b.Run(fmt.Sprintf("keyloop-%d", batch), func(b *testing.B) {
-					saved := s.seam.Batch
-					s.seam.Batch = nil
-					defer func() { s.seam.Batch = saved }()
+					// Publish a view with the batch seam masked so MultiGet
+					// takes the key-at-a-time fallback, then restore it.
+					saved := s.view.Load()
+					masked := *saved
+					masked.seam.Batch = nil
+					s.view.Publish(&masked)
+					defer func() {
+						restored := *saved
+						s.view.Publish(&restored)
+					}()
 					runBatch(s, batch)(b)
 				})
 				b.Run(fmt.Sprintf("batch-%d", batch), runBatch(s, batch))

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/parallel"
 	"learnedpieces/internal/pmem"
@@ -47,19 +48,29 @@ type page struct {
 	pos atomic.Int64
 }
 
-// Store is the KV store. Get is lock-free; Put appends without a lock
-// except at page rollover. Put is safe for concurrent use exactly when
-// the volatile index supports concurrent writes (XIndex, CCEH, or a
-// sharded wrapper) — the store adds no serialisation of its own.
-type Store struct {
-	region *pmem.Region
-	idx    index.Index
-
-	// Capability surface of the current index, resolved once by setIndex
-	// instead of once per operation: the Caps descriptor for callers and
-	// the typed seams the hot paths dispatch through.
+// storeView is the immutable read-side snapshot of the store: the
+// index handle plus its capability surface, resolved once per install
+// instead of once per operation. Mutation paths (Open, Recover,
+// Compact, DropIndex) build a fresh view copy-on-write and publish it
+// with one atomic store; the displaced view is retired through the
+// epoch manager. Readers load the view exactly once per operation, so
+// every probe inside one Get/MultiGet/Scan sees one consistent
+// (index, caps, seams) triple even across a concurrent install.
+type storeView struct {
+	idx  index.Index
 	caps index.Caps
 	seam index.Seam
+}
+
+// Store is the KV store. Get/MultiGet/Scan are lock-free: they pin an
+// epoch, load the atomically published storeView, and never touch a
+// mutex. Put appends without a lock except at page rollover. Put is
+// safe for concurrent use exactly when the volatile index supports
+// concurrent writes (XIndex, CCEH, or a sharded wrapper) — the store
+// adds no serialisation of its own.
+type Store struct {
+	region *pmem.Region
+	view   epoch.Versioned[storeView]
 
 	// Options.
 	maxWorkers  int
@@ -191,10 +202,7 @@ func Open(region *pmem.Region, idx index.Index, opts ...Option) *Store {
 			}
 		})
 		s.sink.SetProbe(func() telemetry.IndexStats {
-			s.mu.Lock()
-			cur := s.idx
-			s.mu.Unlock()
-			return telemetry.CollectIndexStats(cur)
+			return telemetry.CollectIndexStats(s.view.Load().idx)
 		})
 		if s.pool != nil {
 			pool := s.pool
@@ -216,8 +224,8 @@ func Open(region *pmem.Region, idx index.Index, opts ...Option) *Store {
 // it supports background retraining. Indexes without the capability
 // silently keep their inline behavior.
 func (s *Store) attachPool() {
-	if s.pool != nil && s.seam.AsyncRetrain != nil {
-		s.seam.AsyncRetrain.SetRetrainPool(s.pool)
+	if v := s.view.Load(); s.pool != nil && v.seam.AsyncRetrain != nil {
+		v.seam.AsyncRetrain.SetRetrainPool(s.pool)
 	}
 }
 
@@ -229,26 +237,29 @@ func (s *Store) RetrainMode() RetrainMode { return s.retrainMode }
 // timeline with writers quiesced (the same stop-the-world contract as
 // Compact); with no pool or an inline-only index it is a no-op.
 func (s *Store) DrainRetrains() {
-	if s.seam.AsyncRetrain != nil {
-		s.seam.AsyncRetrain.DrainRetrains()
+	if v := s.view.Load(); v.seam.AsyncRetrain != nil {
+		v.seam.AsyncRetrain.DrainRetrains()
 	}
 }
 
-// setIndex installs idx and re-resolves its capability surface. Callers
-// on mutation paths hold s.mu; the lock-free readers tolerate the swap
-// under the store's stop-the-world recovery/compaction contract.
+// setIndex builds a fresh immutable view around idx and publishes it.
+// Callers on mutation paths hold s.mu (which serializes installs); the
+// lock-free readers keep traversing the displaced view until their pin
+// ends — the epoch manager retires it, so the swap never blocks them.
 func (s *Store) setIndex(idx index.Index) {
-	s.idx = idx
-	s.caps = index.CapsOf(idx)
-	s.seam = index.Seams(idx)
+	s.view.Publish(&storeView{
+		idx:  idx,
+		caps: index.CapsOf(idx),
+		seam: index.Seams(idx),
+	})
 	s.attachPool() // Recover/Compact/DropIndex keep the retrain mode
 }
 
 // Index exposes the volatile index (for stats such as Sizes).
-func (s *Store) Index() index.Index { return s.idx }
+func (s *Store) Index() index.Index { return s.view.Load().idx }
 
 // Caps reports the capability descriptor of the current index.
-func (s *Store) Caps() index.Caps { return s.caps }
+func (s *Store) Caps() index.Caps { return s.view.Load().caps }
 
 // Region exposes the PMem region (for stats).
 func (s *Store) Region() *pmem.Region { return s.region }
@@ -349,11 +360,11 @@ func (s *Store) Put(key uint64, value []byte) error {
 		return err
 	}
 	var existed bool
-	if s.seam.Upsert != nil {
-		existed, err = s.seam.Upsert.InsertReplace(key, uint64(off))
+	if v := s.view.Load(); v.seam.Upsert != nil {
+		existed, err = v.seam.Upsert.InsertReplace(key, uint64(off))
 	} else {
-		_, existed = s.idx.Get(key)
-		err = s.idx.Insert(key, uint64(off))
+		_, existed = v.idx.Get(key)
+		err = v.idx.Insert(key, uint64(off))
 	}
 	if err != nil {
 		return fmt.Errorf("viper: index insert: %w", err)
@@ -366,13 +377,23 @@ func (s *Store) Put(key uint64, value []byte) error {
 }
 
 // Get reads the value stored under key. The returned slice aliases the
-// region and must not be modified.
+// region and must not be modified. Get is lock-free: it pins an epoch,
+// loads the current view, and resolves the record with no mutex on any
+// path. The pin keeps the view's index and the record's page alive
+// across the probe — a concurrent Compact defers its page frees until
+// the pin ends — but the returned slice is only protected by the
+// store-wide rule that callers must not retain region aliases across a
+// Compact.
 //
 //pieces:hotpath
 func (s *Store) Get(key uint64) ([]byte, bool) {
-	sp := s.met.StartGet(stripe(key))
-	off, ok := s.idx.Get(key)
+	st := stripe(key)
+	sp := s.met.StartGet(st)
+	g := epoch.Enter(st)
+	v := s.view.Load()
+	off, ok := v.idx.Get(key)
 	if !ok {
+		g.Exit()
 		s.met.GetMiss()
 		sp.Done()
 		return nil, false
@@ -380,13 +401,15 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 	hdr := s.region.ReadNoCopy(int64(off), recordHeader)
 	vlen := binary.LittleEndian.Uint32(hdr[8:12])
 	if hdr[12]&flagDeleted != 0 {
+		g.Exit()
 		s.met.GetMiss()
 		sp.Done()
 		return nil, false
 	}
-	v := s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen))
+	val := s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen))
+	g.Exit()
 	sp.Done()
-	return v, true
+	return val, true
 }
 
 // MultiGet resolves the whole batch of keys against the volatile index
@@ -403,16 +426,19 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 func (s *Store) MultiGet(keys []uint64) [][]byte {
 	sp := s.met.StartMultiGet(len(keys))
 	defer sp.Done()
+	g := epoch.Enter(uint64(len(keys)))
+	defer g.Exit()
+	v := s.view.Load()
 	out := make([][]byte, len(keys))
 	sc := mgPool.Get().(*mgScratch)
 	hits := sc.hits[:0]
-	if s.seam.Batch != nil {
+	if v.seam.Batch != nil {
 		if cap(sc.offs) < len(keys) {
 			sc.offs = make([]uint64, len(keys))
 			sc.found = make([]bool, len(keys))
 		}
 		offs, found := sc.offs[:len(keys)], sc.found[:len(keys)]
-		s.seam.Batch.GetBatch(keys, offs, found)
+		v.seam.Batch.GetBatch(keys, offs, found)
 		for i := range keys {
 			if found[i] {
 				hits = append(hits, hit{i, int64(offs[i])})
@@ -420,7 +446,7 @@ func (s *Store) MultiGet(keys []uint64) [][]byte {
 		}
 	} else {
 		for i, k := range keys {
-			if off, ok := s.idx.Get(k); ok {
+			if off, ok := v.idx.Get(k); ok {
 				hits = append(hits, hit{i, int64(off)})
 			}
 		}
@@ -489,19 +515,20 @@ var mgPool = sync.Pool{New: func() interface{} { return new(mgScratch) }}
 // runs before anything is written, so an index without delete support
 // leaves no stray tombstone in the log.
 func (s *Store) Delete(key uint64) (bool, error) {
-	if s.seam.Delete == nil {
-		return false, fmt.Errorf("viper: index %s cannot delete", s.idx.Name())
+	v := s.view.Load()
+	if v.seam.Delete == nil {
+		return false, fmt.Errorf("viper: index %s cannot delete", v.idx.Name())
 	}
 	sp := s.met.StartDelete(stripe(key))
 	defer sp.Done()
-	if _, ok := s.idx.Get(key); !ok {
+	if _, ok := v.idx.Get(key); !ok {
 		return false, nil
 	}
 	if _, err := s.appendRecord(key, nil, flagDeleted); err != nil {
 		return false, err
 	}
 	s.met.Tombstone()
-	if !s.seam.Delete.Delete(key) {
+	if !v.seam.Delete.Delete(key) {
 		// A concurrent deleter won the race after our Get; the extra
 		// tombstone is harmless and the loser reports "not present".
 		return false, nil
@@ -516,12 +543,15 @@ func (s *Store) Delete(key uint64) (bool, error) {
 // (CapsOf(idx).Scan, which folds in dynamic checks such as a sharded
 // wrapper's hash-layout refusal).
 func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
-	if s.seam.Scan == nil || !s.caps.Scan {
-		return fmt.Errorf("viper: index %s cannot scan", s.idx.Name())
+	g := epoch.Enter(stripe(start))
+	defer g.Exit()
+	v := s.view.Load()
+	if v.seam.Scan == nil || !v.caps.Scan {
+		return fmt.Errorf("viper: index %s cannot scan", v.idx.Name())
 	}
 	sp := s.met.StartScan(stripe(start))
 	defer sp.Done()
-	s.seam.Scan.Scan(start, n, func(k, off uint64) bool {
+	v.seam.Scan.Scan(start, n, func(k, off uint64) bool {
 		hdr := s.region.ReadNoCopy(int64(off), recordHeader)
 		vlen := binary.LittleEndian.Uint32(hdr[8:12])
 		if hdr[12]&flagDeleted != 0 {
@@ -550,8 +580,9 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
-	if s.seam.Bulk == nil {
-		return fmt.Errorf("viper: index %s cannot bulk load", s.idx.Name())
+	v := s.view.Load()
+	if v.seam.Bulk == nil {
+		return fmt.Errorf("viper: index %s cannot bulk load", v.idx.Name())
 	}
 	t0 := time.Now()
 	offs := make([]uint64, len(keys))
@@ -569,7 +600,7 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := s.seam.Bulk.BulkLoad(keys, offs); err != nil {
+	if err := v.seam.Bulk.BulkLoad(keys, offs); err != nil {
 		return err
 	}
 	prev := s.liveLen.Swap(int64(len(keys)))
@@ -670,11 +701,15 @@ func (s *Store) Recover(fresh index.Index) error {
 	return nil
 }
 
-// Compact rewrites every live record into fresh pages and frees the old
-// ones, reclaiming the space of overwritten and deleted records (Viper's
-// space reclamation, as a stop-the-world pass: the caller must quiesce
-// readers and writers). The volatile index is rebuilt with the new
-// offsets. It returns the number of bytes reclaimed.
+// Compact rewrites every live record into fresh pages and retires the
+// old ones, reclaiming the space of overwritten and deleted records
+// (Viper's space reclamation). The caller must quiesce writers; readers
+// may continue — they keep resolving through the displaced view, and
+// the old pages are freed through the epoch manager only after every
+// in-flight read has ended its pin. The volatile index is rebuilt with
+// the new offsets. It returns the number of bytes reclaimed (the old
+// pages count as reclaimed immediately even though the physical free
+// is deferred by the grace period).
 //
 // Both heavy phases run multi-core: the old pages are scanned with the
 // same page-parallel pass as recovery, and the live records are copied
@@ -724,8 +759,19 @@ func (s *Store) Compact(fresh index.Index) (int64, error) {
 	s.mu.Unlock()
 	s.met.LiveDelta(int64(len(keys)) - prev)
 
-	for _, p := range oldPages {
-		s.region.Free(p, PageSize)
+	// Retire the old pages instead of freeing them in place: a reader
+	// that resolved an offset through the displaced view may still be
+	// inside its record read, and a freed page can be re-Alloc'd and
+	// re-zeroed with plain writes. The epoch manager runs the frees once
+	// every such pin has ended (two full epoch advances).
+	if len(oldPages) > 0 {
+		region := s.region
+		epoch.RetireFunc(func() {
+			for _, p := range oldPages {
+				region.Free(p, PageSize)
+			}
+		})
+		epoch.Advance()
 	}
 	s.met.ObserveCompaction(time.Since(t0))
 	return int64(len(oldPages))*PageSize - newPages*PageSize, nil
@@ -742,7 +788,7 @@ func (s *Store) DropIndex(empty index.Index) {
 // Sizes reports Table III's three footprints for the current state:
 // index structure only, index+keys, and index+keys+values.
 func (s *Store) Sizes() (structure, withKeys, withKV int64) {
-	sz, _ := index.SizesOf(s.idx)
+	sz, _ := index.SizesOf(s.view.Load().idx)
 	structure = sz.Structure
 	withKeys = sz.Structure + sz.Keys
 	withKV = withKeys + s.region.Allocated()
