@@ -81,6 +81,16 @@ func main() {
 		exitCode = 1
 	}
 
+	// quit closes the store first — draining background retrains and
+	// stopping the worker pool — so batch sessions never leak goroutines
+	// or drop a pending retrain install on exit.
+	quit := func() {
+		if err := store.Close(); err != nil {
+			fail(err)
+		}
+		os.Exit(exitCode)
+	}
+
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -88,7 +98,7 @@ func main() {
 			if err := sc.Err(); err != nil {
 				fail(err)
 			}
-			os.Exit(exitCode)
+			quit()
 		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -96,7 +106,7 @@ func main() {
 		}
 		switch fields[0] {
 		case "quit", "exit":
-			os.Exit(exitCode)
+			quit()
 		case "put":
 			if len(fields) != 3 {
 				fmt.Println("usage: put <key> <value>")

@@ -119,6 +119,7 @@ func All() []Experiment {
 		{"cross", "Extension: structure x approximation algorithm cross (§IV-C open question)", RunCross},
 		{"retrain", "Extension: background retraining: insert-heavy Put tail, sync vs async", RunRetrain},
 		{"scale", "Extension: lock-free read path: thread scaling, pure reads & 10% writer mix", RunScale},
+		{"net", "Extension: vipersrv service front end: read coalescing on/off over loopback TCP", RunNet},
 	}
 }
 

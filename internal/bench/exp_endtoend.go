@@ -96,6 +96,7 @@ func RunFig10(cfg Config) error {
 				}
 				sum := cfg.runReads(s, ops)
 				t.AddRow(name, size, mops(sum), usec(sum.P999Ns), sum.MeanNs)
+				_ = s.Close()
 			}
 		}
 		cfg.render(t)
@@ -117,6 +118,7 @@ func RunFig11(cfg Config) error {
 		}
 		sum := cfg.runReads(s, ops)
 		t.AddRow(name, mops(sum), usec(sum.P999Ns))
+		_ = s.Close()
 	}
 	cfg.render(t)
 	return nil
@@ -154,6 +156,7 @@ func RunFig12(cfg Config) error {
 			sum := stats.Summarize("", h, time.Since(start))
 			t.AddRow(name, threads, mops(sum), usec(sum.P999Ns))
 		}
+		_ = s.Close()
 	}
 	cfg.render(t)
 	return nil
@@ -180,6 +183,7 @@ func RunFig13(cfg Config) error {
 					return fmt.Errorf("%s: %w", name, err)
 				}
 				t.AddRow(name, size, mops(sum), usec(sum.P999Ns))
+				_ = s.Close()
 			}
 		}
 		cfg.render(t)
@@ -314,6 +318,7 @@ func RunFig14(cfg Config) error {
 			}
 			sum := stats.Summarize("", h, time.Since(start))
 			t.AddRow(name, threads, mops(sum), usec(sum.P999Ns))
+			_ = s.Close()
 		}
 	}
 	cfg.render(t)
@@ -339,6 +344,7 @@ func RunFig15(cfg Config) error {
 				return fmt.Errorf("%s/%s: %w", name, mix.Name, err)
 			}
 			t.AddRow(name, mix.Name, mops(sum), usec(sum.P999Ns))
+			_ = s.Close()
 		}
 	}
 	cfg.render(t)
@@ -358,6 +364,7 @@ func RunTable3(cfg Config) error {
 		}
 		st, wk, wkv := s.Sizes()
 		t.AddRow(name, human(st), human(wk), human(wkv))
+		_ = s.Close()
 	}
 	cfg.render(t)
 	return nil
@@ -419,6 +426,7 @@ func RunFig16(cfg Config) error {
 			}
 			t.AddRow(name, size, recovery, build)
 		}
+		_ = base.Close()
 	}
 	cfg.render(t)
 	return nil

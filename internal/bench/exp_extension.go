@@ -52,6 +52,7 @@ func RunScan(cfg Config) error {
 			}
 			elapsed := time.Since(start)
 			t.AddRow(name, scanLen, float64(entries)/elapsed.Seconds()/1e6, usec(h.Percentile(99.9)))
+			_ = s.Close()
 		}
 	}
 	cfg.render(t)
@@ -95,6 +96,8 @@ func RunExtLIPP(cfg Config) error {
 		}
 		t.AddRow(name, mops(readSum), usec(readSum.P999Ns), insMops,
 			fmt.Sprintf("%.2f", depth), human(structure))
+		_ = s.Close()
+		_ = s2.Close()
 	}
 	cfg.render(t)
 	return nil
@@ -135,6 +138,7 @@ func RunExtAPEX(cfg Config) error {
 			return err
 		}
 		t.AddRow("viper+alex", size, mops(getSum), insMops, time.Since(start))
+		_ = s.Close()
 
 		// APEX on its own region.
 		region := pmem.NewRegion(int(int64(size)*64+(64<<20)), cfg.latency())

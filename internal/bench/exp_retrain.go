@@ -114,6 +114,7 @@ func RunRetrain(cfg Config) error {
 			t.AddRow(b.name, label, sink.Snapshot().Retrain.Executed, mops(putSum),
 				usec(putSum.P50Ns), usec(putSum.P99Ns), usec(putSum.P999Ns),
 				fmt.Sprintf("%.2f", getSum.MeanNs/1e3))
+			_ = s.Close()
 		}
 	}
 	cfg.render(t)

@@ -77,6 +77,7 @@ func RunScale(cfg Config) error {
 					fmt.Sprintf("%.2f", speedup),
 					fmt.Sprintf("%.2f", speedup/ideal))
 			}
+			_ = s.Close()
 		}
 	}
 	cfg.render(t)

@@ -209,6 +209,8 @@ type Sink struct {
 	pmemProbe    func() PMemSnapshot
 	retrain      RetrainSnapshot // folded totals of retired pools
 	retrainProbe func() RetrainSnapshot
+	server       ServerSnapshot // folded totals of retired servers
+	serverProbe  func() ServerSnapshot
 }
 
 // New returns an enabled sink. Attaching a sink also switches on the
@@ -267,6 +269,30 @@ func (s *Sink) SetRetrainProbe(p func() RetrainSnapshot) {
 		final := old()
 		s.mu.Lock()
 		s.retrain = s.retrain.add(final)
+		s.mu.Unlock()
+	}
+}
+
+// SetServerProbe installs the live network-server probe. The previous
+// probe, if any, is read one final time and folded into the sink's
+// cumulative server totals, so counters aggregate across server
+// generations (one vipersrv per process is the normal case, but the
+// bench harness restarts servers per configuration). Safe on a nil sink.
+func (s *Sink) SetServerProbe(p func() ServerSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	old := s.serverProbe
+	s.serverProbe = p
+	s.mu.Unlock()
+	if old != nil {
+		final := old()
+		// A retired server has no open connections or in-flight work left
+		// to report; fold only its lifetime totals.
+		final.ConnsOpen, final.InFlight = 0, 0
+		s.mu.Lock()
+		s.server = s.server.add(final)
 		s.mu.Unlock()
 	}
 }

@@ -70,6 +70,28 @@ func (sn Snapshot) WriteText(w io.Writer) {
 		rt.Render(w)
 	}
 
+	if sv := sn.Server; sv.ConnsTotal > 0 || sv.Accepted > 0 || sv.Rejected > 0 {
+		st := stats.NewTable("network server", "metric", "value")
+		st.AddRow("conns open", sv.ConnsOpen)
+		st.AddRow("conns total", sv.ConnsTotal)
+		st.AddRow("in-flight", sv.InFlight)
+		st.AddRow("accepted", sv.Accepted)
+		st.AddRow("rejected (backpressure)", sv.Rejected)
+		st.AddRow("bad frames", sv.BadFrames)
+		st.AddRow("bytes in", sv.BytesIn)
+		st.AddRow("bytes out", sv.BytesOut)
+		st.AddRow("coalesce batches", sv.CoalesceBatches)
+		st.AddRow("coalesced gets", sv.CoalescedGets)
+		st.AddRow("batch size p50", sv.BatchP50)
+		st.AddRow("batch size p99", sv.BatchP99)
+		st.AddRow("batch size max", sv.BatchMax)
+		st.AddRow("flushes (batch full)", sv.FlushFull)
+		st.AddRow("flushes (timer)", sv.FlushTimer)
+		st.AddRow("drains", sv.Drains)
+		fmt.Fprintln(w)
+		st.Render(w)
+	}
+
 	if len(sn.Search) > 0 {
 		sk := stats.NewTable("last-mile search (policy: "+sn.SearchKernel+")",
 			"kernel", "searches", "probes", "probes/search")

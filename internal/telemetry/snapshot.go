@@ -99,6 +99,68 @@ func (r RetrainSnapshot) add(o RetrainSnapshot) RetrainSnapshot {
 	return r
 }
 
+// ServerSnapshot is the network-front-end section of a Snapshot: the
+// vipersrv connection/admission state and the read-coalescer's batch
+// shape — the ops surface that shows whether concurrent point reads are
+// actually being aggregated into MultiGet batches (batch p50 > 1) and
+// whether the in-flight window is pushing back (rejections). It doubles
+// as the value type server probes return to the sink.
+type ServerSnapshot struct {
+	// ConnsOpen / ConnsTotal count currently open and lifetime-accepted
+	// connections.
+	ConnsOpen  int64 `json:"conns_open"`
+	ConnsTotal int64 `json:"conns_total"`
+	// InFlight is the number of admitted requests not yet answered,
+	// summed over connections.
+	InFlight int64 `json:"in_flight"`
+	// Accepted / Rejected split admission decisions: Rejected counts
+	// requests refused with a backpressure status because the
+	// connection's in-flight window was full.
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	// BadFrames counts undecodable or oversized frames (the connection
+	// is dropped after each).
+	BadFrames int64 `json:"bad_frames"`
+	// BytesIn / BytesOut are wire bytes after framing.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// Coalescer shape: batches flushed, point gets they carried, and the
+	// batch-size distribution. FlushFull counts size-triggered flushes,
+	// FlushTimer wait-triggered ones.
+	CoalesceBatches int64 `json:"coalesce_batches"`
+	CoalescedGets   int64 `json:"coalesced_gets"`
+	BatchP50        int64 `json:"batch_p50"`
+	BatchP99        int64 `json:"batch_p99"`
+	BatchMax        int64 `json:"batch_max"`
+	FlushFull       int64 `json:"flush_full"`
+	FlushTimer      int64 `json:"flush_timer"`
+	// Drains counts graceful drains served (OpDrain requests plus
+	// shutdown drains).
+	Drains int64 `json:"drains"`
+}
+
+func (s ServerSnapshot) add(o ServerSnapshot) ServerSnapshot {
+	s.ConnsOpen += o.ConnsOpen
+	s.ConnsTotal += o.ConnsTotal
+	s.InFlight += o.InFlight
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.BadFrames += o.BadFrames
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	s.CoalesceBatches += o.CoalesceBatches
+	s.CoalescedGets += o.CoalescedGets
+	// Percentiles don't fold; the live probe's distribution wins when it
+	// has seen batches, otherwise the retired totals' shape is kept.
+	if o.CoalesceBatches > 0 {
+		s.BatchP50, s.BatchP99, s.BatchMax = o.BatchP50, o.BatchP99, o.BatchMax
+	}
+	s.FlushFull += o.FlushFull
+	s.FlushTimer += o.FlushTimer
+	s.Drains += o.Drains
+	return s
+}
+
 func (p PMemSnapshot) add(o PMemSnapshot) PMemSnapshot {
 	p.Reads += o.Reads
 	p.Writes += o.Writes
@@ -121,7 +183,10 @@ type Snapshot struct {
 	// Retrain is the retrain-pool digest; the zero value means no pool
 	// was ever attached (the text renderer omits the table then).
 	Retrain RetrainSnapshot `json:"retrain"`
-	Indexes []IndexStats    `json:"indexes"`
+	// Server is the network front end's digest; the zero value means no
+	// server ever attached (the text renderer omits the table then).
+	Server  ServerSnapshot `json:"server"`
+	Indexes []IndexStats   `json:"indexes"`
 	// SearchKernel is the process-wide last-mile kernel policy
 	// (libench -searchkernel); Search carries the per-kernel search and
 	// probe counters. Both are process-global like the policy itself:
@@ -148,8 +213,10 @@ func (s *Sink) Snapshot() Snapshot {
 	probe := s.probe
 	pmemProbe := s.pmemProbe
 	retrainProbe := s.retrainProbe
+	serverProbe := s.serverProbe
 	pm := s.pmem
 	rt := s.retrain
+	sv := s.server
 	s.mu.Unlock()
 	if probe != nil {
 		s.record(probe())
@@ -159,6 +226,9 @@ func (s *Sink) Snapshot() Snapshot {
 	}
 	if retrainProbe != nil {
 		rt = rt.add(retrainProbe())
+	}
+	if serverProbe != nil {
+		sv = sv.add(serverProbe())
 	}
 
 	m := s.Store
@@ -181,6 +251,7 @@ func (s *Sink) Snapshot() Snapshot {
 		},
 		PMem:         pm,
 		Retrain:      rt,
+		Server:       sv,
 		SearchKernel: search.CurrentPolicy().String(),
 		Search:       search.StatsSnapshot(),
 		Epoch:        epoch.GlobalStats(),

@@ -248,6 +248,49 @@ func TestProbeRetiresIntoIndexMap(t *testing.T) {
 	}
 }
 
+func TestServerProbeRetiresIntoTotals(t *testing.T) {
+	s := New()
+	s.SetServerProbe(func() ServerSnapshot {
+		return ServerSnapshot{ConnsOpen: 3, ConnsTotal: 5, InFlight: 2, Accepted: 100,
+			Rejected: 4, CoalesceBatches: 10, CoalescedGets: 80, BatchP50: 8}
+	})
+	// Replacing the probe folds the retiring server's lifetime totals in
+	// — but not its point-in-time gauges (open conns, in-flight).
+	s.SetServerProbe(func() ServerSnapshot {
+		return ServerSnapshot{ConnsOpen: 1, ConnsTotal: 1, Accepted: 10}
+	})
+	snap := s.Snapshot()
+	sv := snap.Server
+	if sv.ConnsTotal != 6 || sv.Accepted != 110 || sv.Rejected != 4 {
+		t.Fatalf("server totals = %+v, want retired+live", sv)
+	}
+	if sv.ConnsOpen != 1 || sv.InFlight != 0 {
+		t.Fatalf("retired gauges leaked into totals: %+v", sv)
+	}
+	// The retired server's batch distribution survives while the live one
+	// hasn't flushed a batch yet.
+	if sv.BatchP50 != 8 || sv.CoalesceBatches != 10 {
+		t.Fatalf("batch shape lost on fold: %+v", sv)
+	}
+	// Server section renders and round-trips.
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Server != sv {
+		t.Fatalf("server section round trip: got %+v want %+v", back.Server, sv)
+	}
+	var text bytes.Buffer
+	snap.WriteText(&text)
+	if !strings.Contains(text.String(), "network server") {
+		t.Fatal("text render missing network server table")
+	}
+}
+
 func TestWriteText(t *testing.T) {
 	s := New()
 	m := s.StoreSink()

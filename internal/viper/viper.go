@@ -84,6 +84,7 @@ type Store struct {
 	mu      sync.Mutex // page rollover, deletes, recovery
 	pages   []int64    // all page offsets, in allocation order
 	liveLen atomic.Int64
+	closed  atomic.Bool
 }
 
 // Option configures a Store at Open time.
@@ -171,10 +172,27 @@ func WithRetrainMode(m RetrainMode) Option {
 	return func(s *Store) { s.retrainMode = m }
 }
 
-// Errors returned by Store operations.
+// Typed error sentinels. Every error a Store operation returns wraps
+// exactly one of these, so callers — the network server above all — can
+// classify failures with errors.Is and map them to wire status codes
+// without ever matching message strings.
 var (
-	ErrEmptyValue  = errors.New("viper: empty values are not supported")
-	ErrValueTooBig = errors.New("viper: value exceeds page size")
+	// ErrFull means the PMem region cannot fit another page; the store
+	// needs a Compact (or a bigger region) before further writes.
+	ErrFull = errors.New("viper: store full")
+	// ErrClosed fences every operation after Close.
+	ErrClosed = errors.New("viper: store is closed")
+	// ErrUnsupported means the current index lacks the capability
+	// (delete, scan, bulk load) the operation needs.
+	ErrUnsupported = errors.New("viper: operation unsupported by index")
+	// ErrValueSize rejects a value the record format cannot carry.
+	ErrValueSize = errors.New("viper: invalid value size")
+)
+
+// Specific value-size violations; both wrap ErrValueSize.
+var (
+	ErrEmptyValue  = fmt.Errorf("%w: empty values are not supported", ErrValueSize)
+	ErrValueTooBig = fmt.Errorf("%w: value exceeds page size", ErrValueSize)
 )
 
 // Open creates a store over the region using idx as the volatile index.
@@ -241,6 +259,37 @@ func (s *Store) DrainRetrains() {
 		v.seam.AsyncRetrain.DrainRetrains()
 	}
 }
+
+// Close shuts the store down: it drains in-flight background retrains,
+// stops the retrain worker pool, detaches the store's telemetry probes
+// (folding their final values into the sink's cumulative totals), and
+// fences every further operation — writes return ErrClosed, reads miss.
+// Close requires quiesced writers, like Compact: operations still in
+// flight when Close begins may complete or observe the fence, but are
+// never corrupted. A second Close returns ErrClosed.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return ErrClosed
+	}
+	// Finish background work before tearing the pool down so no rebuilt
+	// structure is dropped half-installed.
+	s.DrainRetrains()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	if s.sink != nil {
+		// Replacing the probes with nil makes the sink read each one a
+		// final time, so a snapshot taken after Close still carries this
+		// store's totals — without the sink retaining the dead store.
+		s.sink.SetPMemProbe(nil)
+		s.sink.SetProbe(nil)
+		s.sink.SetRetrainProbe(nil)
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (s *Store) Closed() bool { return s.closed.Load() }
 
 // setIndex builds a fresh immutable view around idx and publishes it.
 // Callers on mutation paths hold s.mu (which serializes installs); the
@@ -311,7 +360,7 @@ func (s *Store) claim(n int) (int64, error) {
 			off, err := s.region.Alloc(PageSize)
 			if err != nil {
 				s.mu.Unlock()
-				return 0, err
+				return 0, fmt.Errorf("%w: %w", ErrFull, err)
 			}
 			np := &page{off: off}
 			s.pages = append(s.pages, off)
@@ -350,6 +399,9 @@ func (s *Store) appendRecord(key uint64, value []byte, flags byte) (int64, error
 // place it is used — every concurrent-write index in the repository
 // (sharded, CCEH, XIndex) implements Upserter.
 func (s *Store) Put(key uint64, value []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
@@ -387,6 +439,9 @@ func (s *Store) Put(key uint64, value []byte) error {
 //
 //pieces:hotpath
 func (s *Store) Get(key uint64) ([]byte, bool) {
+	if s.closed.Load() {
+		return nil, false
+	}
 	st := stripe(key)
 	sp := s.met.StartGet(st)
 	g := epoch.Enter(st)
@@ -424,6 +479,9 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 // alias the region and must not be modified. MultiGet is as safe for
 // concurrent use as Get.
 func (s *Store) MultiGet(keys []uint64) [][]byte {
+	if s.closed.Load() {
+		return make([][]byte, len(keys))
+	}
 	sp := s.met.StartMultiGet(len(keys))
 	defer sp.Done()
 	g := epoch.Enter(uint64(len(keys)))
@@ -477,7 +535,17 @@ func (s *Store) MultiGet(keys []uint64) [][]byte {
 			}
 		})
 	}
-	for _, h := range hits {
+	// Offset order makes duplicate keys adjacent, and within one batch
+	// the same offset is the same record snapshot — resolve it once and
+	// share the view. Under skewed (YCSB-Zipfian) request streams a
+	// coalesced batch is full of hot-key duplicates, so this skips their
+	// header+value reads (and the simulated NVM stalls) entirely —
+	// an aggregation win per-key Gets cannot express.
+	for i, h := range hits {
+		if i > 0 && h.off == hits[i-1].off {
+			out[h.pos] = out[hits[i-1].pos]
+			continue
+		}
 		hdr := s.region.ReadNoCopy(h.off, recordHeader)
 		if hdr[12]&flagDeleted != 0 {
 			continue
@@ -515,9 +583,12 @@ var mgPool = sync.Pool{New: func() interface{} { return new(mgScratch) }}
 // runs before anything is written, so an index without delete support
 // leaves no stray tombstone in the log.
 func (s *Store) Delete(key uint64) (bool, error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
 	v := s.view.Load()
 	if v.seam.Delete == nil {
-		return false, fmt.Errorf("viper: index %s cannot delete", v.idx.Name())
+		return false, fmt.Errorf("%w: index %s cannot delete", ErrUnsupported, v.idx.Name())
 	}
 	sp := s.met.StartDelete(stripe(key))
 	defer sp.Done()
@@ -543,11 +614,14 @@ func (s *Store) Delete(key uint64) (bool, error) {
 // (CapsOf(idx).Scan, which folds in dynamic checks such as a sharded
 // wrapper's hash-layout refusal).
 func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	g := epoch.Enter(stripe(start))
 	defer g.Exit()
 	v := s.view.Load()
 	if v.seam.Scan == nil || !v.caps.Scan {
-		return fmt.Errorf("viper: index %s cannot scan", v.idx.Name())
+		return fmt.Errorf("%w: index %s cannot scan", ErrUnsupported, v.idx.Name())
 	}
 	sp := s.met.StartScan(stripe(start))
 	defer sp.Done()
@@ -580,9 +654,12 @@ func (s *Store) BulkPut(keys []uint64, value []byte) error {
 	if len(value) == 0 {
 		return ErrEmptyValue
 	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	v := s.view.Load()
 	if v.seam.Bulk == nil {
-		return fmt.Errorf("viper: index %s cannot bulk load", v.idx.Name())
+		return fmt.Errorf("%w: index %s cannot bulk load", ErrUnsupported, v.idx.Name())
 	}
 	t0 := time.Now()
 	offs := make([]uint64, len(keys))
@@ -687,6 +764,9 @@ func liveSorted(live map[uint64]entry) (keys, offs []uint64) {
 // page-parallel (see scanPages) and the index's own bulk-load path may
 // fan out further. The caller provides a fresh index instance.
 func (s *Store) Recover(fresh index.Index) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -717,6 +797,9 @@ func (s *Store) Recover(fresh index.Index) error {
 // lock-free claim path (keys are distinct after the scan, so the
 // physical order of the copies does not matter).
 func (s *Store) Compact(fresh index.Index) (int64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
 	t0 := time.Now()
 	s.mu.Lock()
 	oldPages := s.pages

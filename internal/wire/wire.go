@@ -1,0 +1,575 @@
+// Package wire defines vipersrv's binary protocol: length-prefixed
+// frames carrying a request ID, an op code and an op-specific payload.
+//
+// The protocol is pipelined by construction. A client may have any
+// number of requests outstanding on one connection; the server answers
+// in whatever order operations complete and the request ID — chosen by
+// the client, echoed verbatim by the server — is the only correlation.
+// That is what lets the server pull concurrent point reads out of
+// arrival order and coalesce them into MultiGet batches.
+//
+// Frame layout (both directions, all integers big-endian):
+//
+//	uint32  length of the body (everything after this prefix)
+//	uint64  request ID
+//	uint8   op code (request) / status code (response)
+//	...     op-specific payload
+//
+// Decoding is defensive: every field is bounds-checked against the
+// slice it is read from, lengths are validated against MaxFrame before
+// any allocation, and decoded byte slices alias the frame buffer (the
+// caller copies if it retains them past the buffer's reuse). Hostile or
+// truncated input must produce an error, never a panic or an over-read
+// — FuzzDecodeFrame holds the package to that.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Limits. MaxValue bounds one record payload (matches the store's page
+// unit); MaxFrame bounds a whole frame body, sized so the largest legal
+// response (a full MultiGet batch of maximum-size values) still fits
+// well under any accidental multi-gigabyte allocation.
+const (
+	// MaxValue is the largest value accepted in a Put or returned by a
+	// read (the store rejects larger values anyway: one PMem page).
+	MaxValue = 1 << 20
+	// MaxKeys is the largest MultiGet batch.
+	MaxKeys = 4096
+	// MaxScanLimit is the largest Scan entry count.
+	MaxScanLimit = 65536
+	// MaxFrame is the largest frame body (ID + op + payload) either side
+	// accepts. Sized for a MultiGet response of MaxKeys records at the
+	// store's default 200-byte values, with headroom for a few large
+	// values; both sides chunk anything bigger at a higher level.
+	MaxFrame = 16 << 20
+	// minBody is the smallest legal body: ID (8) + op/status (1).
+	minBody = 9
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// Request op codes. Zero is deliberately invalid.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpDelete
+	OpMultiGet
+	OpScan
+	OpStats
+	OpDrain
+	opMax // sentinel: first invalid op
+)
+
+// String returns the wire name of the op.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpMultiGet:
+		return "multiget"
+	case OpScan:
+		return "scan"
+	case OpStats:
+		return "stats"
+	case OpDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is a response's result code. The server derives it from the
+// store's typed error sentinels with errors.Is — never from message
+// strings — and the client maps it back to a typed error with Err.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusFull
+	StatusClosed
+	StatusUnsupported
+	StatusValueSize
+	StatusBadRequest
+	StatusBackpressure
+	StatusInternal
+	statusMax // sentinel: first invalid status
+)
+
+// String returns the wire name of the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusFull:
+		return "full"
+	case StatusClosed:
+		return "closed"
+	case StatusUnsupported:
+		return "unsupported"
+	case StatusValueSize:
+		return "value-size"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusBackpressure:
+		return "backpressure"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Client-side typed errors, one per non-OK status the server can send.
+// StatusNotFound is not an error (reads report it as a miss).
+var (
+	ErrFull         = errors.New("wire: store full")
+	ErrClosed       = errors.New("wire: server closed")
+	ErrUnsupported  = errors.New("wire: operation unsupported")
+	ErrValueSize    = errors.New("wire: invalid value size")
+	ErrBadRequest   = errors.New("wire: bad request")
+	ErrBackpressure = errors.New("wire: in-flight window full")
+	ErrInternal     = errors.New("wire: internal server error")
+)
+
+// Err maps a status to its typed client-side error; StatusOK and
+// StatusNotFound map to nil (not-found is a miss, not a failure).
+func (s Status) Err() error {
+	switch s {
+	case StatusOK, StatusNotFound:
+		return nil
+	case StatusFull:
+		return ErrFull
+	case StatusClosed:
+		return ErrClosed
+	case StatusUnsupported:
+		return ErrUnsupported
+	case StatusValueSize:
+		return ErrValueSize
+	case StatusBadRequest:
+		return ErrBadRequest
+	case StatusBackpressure:
+		return ErrBackpressure
+	}
+	return ErrInternal
+}
+
+// Decode errors.
+var (
+	// ErrFrameTooBig rejects a length prefix above MaxFrame (or below
+	// the minimum body) before anything is allocated or read.
+	ErrFrameTooBig = errors.New("wire: frame length out of bounds")
+	// ErrTruncated means a body ended before a field it promised.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadOp means an unknown op or status byte.
+	ErrBadOp = errors.New("wire: unknown op code")
+	// ErrBadPayload means a structurally invalid payload (over-limit
+	// counts, inner lengths exceeding the body, trailing garbage).
+	ErrBadPayload = errors.New("wire: malformed payload")
+)
+
+// Request is one decoded client request. Field use per op:
+//
+//	OpPut      Key, Value
+//	OpGet      Key
+//	OpDelete   Key
+//	OpMultiGet Keys
+//	OpScan     Key (start), Limit
+//	OpStats    —
+//	OpDrain    —
+type Request struct {
+	ID    uint64
+	Op    Op
+	Key   uint64
+	Value []byte
+	Keys  []uint64
+	Limit uint32
+}
+
+// Entry is one key/value pair in a Scan response.
+type Entry struct {
+	Key   uint64
+	Value []byte
+}
+
+// Response is one decoded server response. Field use per status/op:
+//
+//	Get       Value (OK only)
+//	Delete    Existed
+//	MultiGet  Values (nil element = key absent)
+//	Scan      Entries
+//	Stats     Value (JSON snapshot bytes)
+//	Put/Drain —
+type Response struct {
+	ID      uint64
+	Status  Status
+	Value   []byte
+	Values  [][]byte
+	Entries []Entry
+	Existed bool
+}
+
+// absentValue marks a missing key in a MultiGet response (a present
+// value's length is bounded by MaxValue, far below this).
+const absentValue = ^uint32(0)
+
+// appendFrame reserves the length prefix, lets build append the body,
+// then patches the prefix. Every encoder funnels through it so a frame
+// is always self-consistent.
+func appendFrame(dst []byte, build func([]byte) []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = build(dst)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// AppendRequest appends r's encoded frame (length prefix included) to
+// dst and returns the extended slice.
+func AppendRequest(dst []byte, r *Request) []byte {
+	return appendFrame(dst, func(b []byte) []byte {
+		b = appendU64(b, r.ID)
+		b = append(b, byte(r.Op))
+		switch r.Op {
+		case OpPut:
+			b = appendU64(b, r.Key)
+			b = append(b, r.Value...)
+		case OpGet, OpDelete:
+			b = appendU64(b, r.Key)
+		case OpMultiGet:
+			b = appendU32(b, uint32(len(r.Keys)))
+			for _, k := range r.Keys {
+				b = appendU64(b, k)
+			}
+		case OpScan:
+			b = appendU64(b, r.Key)
+			b = appendU32(b, r.Limit)
+		}
+		return b
+	})
+}
+
+// AppendResponse appends r's encoded frame (length prefix included) to
+// dst and returns the extended slice. The response's payload shape is
+// derived from which fields are populated, so the encoder works for any
+// (op, status) combination the server produces.
+func AppendResponse(dst []byte, r *Response) []byte {
+	return appendFrame(dst, func(b []byte) []byte {
+		b = appendU64(b, r.ID)
+		b = append(b, byte(r.Status))
+		switch {
+		case r.Values != nil:
+			b = appendU32(b, uint32(len(r.Values)))
+			for _, v := range r.Values {
+				if v == nil {
+					b = appendU32(b, absentValue)
+					continue
+				}
+				b = appendU32(b, uint32(len(v)))
+				b = append(b, v...)
+			}
+		case r.Entries != nil:
+			b = appendU32(b, uint32(len(r.Entries)))
+			for _, e := range r.Entries {
+				b = appendU64(b, e.Key)
+				b = appendU32(b, uint32(len(e.Value)))
+				b = append(b, e.Value...)
+			}
+		case r.Existed:
+			b = append(b, 1)
+		case r.Value != nil:
+			b = append(b, r.Value...)
+		}
+		return b
+	})
+}
+
+// ReadFrame reads one length-prefixed frame body from br, reusing buf
+// when it is large enough. It returns the body (ID + op + payload,
+// prefix stripped). io.EOF is returned unwrapped on a clean EOF before
+// any prefix byte, so callers can distinguish "connection done" from a
+// mid-frame cut (io.ErrUnexpectedEOF).
+func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(br, prefix[:1]); err != nil {
+		return nil, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(br, prefix[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n < minBody || n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d", ErrFrameTooBig, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// PeekID reads a frame body's request ID without decoding the rest —
+// the client's reader routes on it before it knows the op. Returns 0
+// for bodies too short to carry one (ReadFrame never yields those).
+func PeekID(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// body wraps a frame body with a cursor; every read checks remaining
+// length first, which is the whole over-read defence.
+type body struct {
+	b   []byte
+	pos int
+}
+
+func (c *body) remaining() int { return len(c.b) - c.pos }
+
+func (c *body) u8() (byte, error) {
+	if c.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := c.b[c.pos]
+	c.pos++
+	return v, nil
+}
+
+func (c *body) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(c.b[c.pos:])
+	c.pos += 4
+	return v, nil
+}
+
+func (c *body) u64() (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(c.b[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+func (c *body) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, ErrTruncated
+	}
+	v := c.b[c.pos : c.pos+n : c.pos+n]
+	c.pos += n
+	return v, nil
+}
+
+// rest returns everything not yet consumed.
+func (c *body) rest() []byte {
+	v := c.b[c.pos:len(c.b):len(c.b)]
+	c.pos = len(c.b)
+	return v
+}
+
+// DecodeRequest decodes a request frame body (as returned by
+// ReadFrame). Returned slices alias b.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) > MaxFrame {
+		return Request{}, ErrFrameTooBig
+	}
+	c := body{b: b}
+	var r Request
+	var err error
+	if r.ID, err = c.u64(); err != nil {
+		return Request{}, err
+	}
+	op, err := c.u8()
+	if err != nil {
+		return Request{}, err
+	}
+	r.Op = Op(op)
+	switch r.Op {
+	case OpPut:
+		if r.Key, err = c.u64(); err != nil {
+			return Request{}, err
+		}
+		r.Value = c.rest()
+		if len(r.Value) > MaxValue {
+			return Request{}, fmt.Errorf("%w: value %d bytes", ErrBadPayload, len(r.Value))
+		}
+	case OpGet, OpDelete:
+		if r.Key, err = c.u64(); err != nil {
+			return Request{}, err
+		}
+	case OpMultiGet:
+		n, err := c.u32()
+		if err != nil {
+			return Request{}, err
+		}
+		if n > MaxKeys {
+			return Request{}, fmt.Errorf("%w: %d keys", ErrBadPayload, n)
+		}
+		if c.remaining() != int(n)*8 {
+			return Request{}, fmt.Errorf("%w: key array size", ErrBadPayload)
+		}
+		r.Keys = make([]uint64, n)
+		for i := range r.Keys {
+			r.Keys[i], _ = c.u64()
+		}
+	case OpScan:
+		if r.Key, err = c.u64(); err != nil {
+			return Request{}, err
+		}
+		if r.Limit, err = c.u32(); err != nil {
+			return Request{}, err
+		}
+		if r.Limit > MaxScanLimit {
+			return Request{}, fmt.Errorf("%w: scan limit %d", ErrBadPayload, r.Limit)
+		}
+	case OpStats, OpDrain:
+		// No payload.
+	default:
+		return Request{}, fmt.Errorf("%w: %d", ErrBadOp, op)
+	}
+	if c.remaining() != 0 {
+		return Request{}, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, c.remaining())
+	}
+	return r, nil
+}
+
+// DecodeResponse decodes a response frame body for the given request
+// op (the client knows which op it sent under this ID; the response
+// payload shape depends on it). Returned slices alias b.
+func DecodeResponse(op Op, b []byte) (Response, error) {
+	if len(b) > MaxFrame {
+		return Response{}, ErrFrameTooBig
+	}
+	c := body{b: b}
+	var r Response
+	var err error
+	if r.ID, err = c.u64(); err != nil {
+		return Response{}, err
+	}
+	st, err := c.u8()
+	if err != nil {
+		return Response{}, err
+	}
+	if st >= uint8(statusMax) {
+		return Response{}, fmt.Errorf("%w: status %d", ErrBadOp, st)
+	}
+	r.Status = Status(st)
+	if r.Status != StatusOK && r.Status != StatusNotFound {
+		// Error responses carry no payload.
+		if c.remaining() != 0 {
+			return Response{}, fmt.Errorf("%w: payload on error status", ErrBadPayload)
+		}
+		return r, nil
+	}
+	switch op {
+	case OpGet, OpStats:
+		r.Value = c.rest()
+		if len(r.Value) > MaxValue && op == OpGet {
+			return Response{}, fmt.Errorf("%w: value %d bytes", ErrBadPayload, len(r.Value))
+		}
+	case OpDelete:
+		// The flag byte is present only when the key existed (the encoder
+		// derives payload shape from populated fields); no payload means
+		// the delete found nothing.
+		if r.Status == StatusOK && c.remaining() > 0 {
+			ex, err := c.u8()
+			if err != nil {
+				return Response{}, err
+			}
+			r.Existed = ex != 0
+		}
+	case OpMultiGet:
+		n, err := c.u32()
+		if err != nil {
+			return Response{}, err
+		}
+		if n > MaxKeys {
+			return Response{}, fmt.Errorf("%w: %d values", ErrBadPayload, n)
+		}
+		r.Values = make([][]byte, n)
+		for i := range r.Values {
+			vlen, err := c.u32()
+			if err != nil {
+				return Response{}, err
+			}
+			if vlen == absentValue {
+				continue
+			}
+			if vlen > MaxValue {
+				return Response{}, fmt.Errorf("%w: value %d bytes", ErrBadPayload, vlen)
+			}
+			if r.Values[i], err = c.bytes(int(vlen)); err != nil {
+				return Response{}, err
+			}
+		}
+	case OpScan:
+		n, err := c.u32()
+		if err != nil {
+			return Response{}, err
+		}
+		if n > MaxScanLimit {
+			return Response{}, fmt.Errorf("%w: %d entries", ErrBadPayload, n)
+		}
+		// Pre-size conservatively: each entry needs at least 12 bytes, so
+		// a hostile count can't force a huge allocation.
+		if c.remaining() < int(n)*12 {
+			return Response{}, ErrTruncated
+		}
+		r.Entries = make([]Entry, n)
+		for i := range r.Entries {
+			if r.Entries[i].Key, err = c.u64(); err != nil {
+				return Response{}, err
+			}
+			vlen, err := c.u32()
+			if err != nil {
+				return Response{}, err
+			}
+			if vlen > MaxValue {
+				return Response{}, fmt.Errorf("%w: value %d bytes", ErrBadPayload, vlen)
+			}
+			if r.Entries[i].Value, err = c.bytes(int(vlen)); err != nil {
+				return Response{}, err
+			}
+		}
+	case OpPut, OpDrain:
+		// No payload.
+	default:
+		return Response{}, fmt.Errorf("%w: %d", ErrBadOp, uint8(op))
+	}
+	if c.remaining() != 0 {
+		return Response{}, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, c.remaining())
+	}
+	return r, nil
+}

@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// stripPrefix drops the 4-byte length prefix, returning the frame body
+// the decoders take.
+func stripPrefix(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	if len(frame) < 4 {
+		t.Fatalf("frame too short: %d bytes", len(frame))
+	}
+	n := binary.BigEndian.Uint32(frame)
+	if int(n) != len(frame)-4 {
+		t.Fatalf("length prefix %d != body %d", n, len(frame)-4)
+	}
+	return frame[4:]
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Op: OpPut, Key: 42, Value: []byte("hello")},
+		{ID: 2, Op: OpPut, Key: 0, Value: []byte{0}}, // 1-byte value
+		{ID: 3, Op: OpGet, Key: ^uint64(0)},
+		{ID: 4, Op: OpDelete, Key: 7},
+		{ID: 5, Op: OpMultiGet, Keys: []uint64{1, 2, 3, 1 << 40}},
+		{ID: 6, Op: OpMultiGet, Keys: []uint64{}},
+		{ID: 7, Op: OpScan, Key: 100, Limit: 25},
+		{ID: 8, Op: OpStats},
+		{ID: 9, Op: OpDrain},
+	}
+	for _, want := range cases {
+		t.Run(want.Op.String(), func(t *testing.T) {
+			frame := AppendRequest(nil, &want)
+			got, err := DecodeRequest(stripPrefix(t, frame))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			// Empty slices decode as empty, nil encodes as empty.
+			if len(got.Keys) == 0 {
+				got.Keys = want.Keys
+			}
+			if len(got.Value) == 0 && len(want.Value) == 0 {
+				got.Value = want.Value
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		r    Response
+	}{
+		{"put-ok", OpPut, Response{ID: 1, Status: StatusOK}},
+		{"put-full", OpPut, Response{ID: 2, Status: StatusFull}},
+		{"get-ok", OpGet, Response{ID: 3, Status: StatusOK, Value: []byte("v")}},
+		{"get-miss", OpGet, Response{ID: 4, Status: StatusNotFound}},
+		{"delete-existed", OpDelete, Response{ID: 5, Status: StatusOK, Existed: true}},
+		{"delete-absent", OpDelete, Response{ID: 6, Status: StatusOK}},
+		{"delete-unsupported", OpDelete, Response{ID: 7, Status: StatusUnsupported}},
+		{"multiget", OpMultiGet, Response{ID: 8, Status: StatusOK,
+			Values: [][]byte{[]byte("a"), nil, []byte("ccc")}}},
+		{"multiget-empty", OpMultiGet, Response{ID: 9, Status: StatusOK, Values: [][]byte{}}},
+		{"scan", OpScan, Response{ID: 10, Status: StatusOK,
+			Entries: []Entry{{Key: 1, Value: []byte("x")}, {Key: 2, Value: []byte("yy")}}}},
+		{"scan-empty", OpScan, Response{ID: 11, Status: StatusOK, Entries: []Entry{}}},
+		{"stats", OpStats, Response{ID: 12, Status: StatusOK, Value: []byte(`{"ok":true}`)}},
+		{"drain", OpDrain, Response{ID: 13, Status: StatusOK}},
+		{"backpressure", OpGet, Response{ID: 14, Status: StatusBackpressure}},
+		{"closed", OpPut, Response{ID: 15, Status: StatusClosed}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := AppendResponse(nil, &tc.r)
+			got, err := DecodeResponse(tc.op, stripPrefix(t, frame))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			want := tc.r
+			// Normalise nil-vs-empty for the comparison: the wire cannot
+			// distinguish an empty slice from nil for zero-length payloads.
+			norm := func(r *Response) {
+				if len(r.Value) == 0 {
+					r.Value = nil
+				}
+				if len(r.Values) == 0 {
+					r.Values = nil
+				}
+				if len(r.Entries) == 0 {
+					r.Entries = nil
+				}
+			}
+			norm(&got)
+			norm(&want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	want := Request{ID: 99, Op: OpGet, Key: 123}
+	frame := AppendRequest(nil, &want)
+	// Two frames back to back exercise the reader's framing.
+	stream := append(append([]byte{}, frame...), frame...)
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i := 0; i < 2; i++ {
+		body, err := ReadFrame(br, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		if got.ID != want.ID || got.Key != want.Key {
+			t.Fatalf("frame %d: got %+v", i, got)
+		}
+	}
+	if _, err := ReadFrame(br, nil); err != io.EOF {
+		t.Fatalf("expected io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestReadFrameHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"cut-prefix", []byte{0, 0}, io.ErrUnexpectedEOF},
+		{"zero-length", []byte{0, 0, 0, 0}, ErrFrameTooBig},
+		{"below-min", []byte{0, 0, 0, 5}, ErrFrameTooBig},
+		{"huge", []byte{0xFF, 0xFF, 0xFF, 0xFF}, ErrFrameTooBig},
+		{"cut-body", []byte{0, 0, 0, 9, 1, 2, 3}, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			br := bufio.NewReader(bytes.NewReader(tc.data))
+			_, err := ReadFrame(br, nil)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRequestHostile(t *testing.T) {
+	mk := func(r Request) []byte {
+		return AppendRequest(nil, &r)[4:]
+	}
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"id-only", make([]byte, 8), ErrTruncated},
+		{"bad-op-zero", append(make([]byte, 8), 0), ErrBadOp},
+		{"bad-op-high", append(make([]byte, 8), 200), ErrBadOp},
+		{"get-cut-key", append(make([]byte, 8), byte(OpGet), 1, 2), ErrTruncated},
+		{"multiget-over-limit", func() []byte {
+			b := append(make([]byte, 8), byte(OpMultiGet))
+			return binary.BigEndian.AppendUint32(b, MaxKeys+1)
+		}(), ErrBadPayload},
+		{"multiget-count-lies", func() []byte {
+			b := append(make([]byte, 8), byte(OpMultiGet))
+			b = binary.BigEndian.AppendUint32(b, 10) // promises 80 bytes
+			return append(b, 1, 2, 3)
+		}(), ErrBadPayload},
+		{"scan-over-limit", func() []byte {
+			b := append(make([]byte, 8), byte(OpScan))
+			b = binary.BigEndian.AppendUint64(b, 1)
+			return binary.BigEndian.AppendUint32(b, MaxScanLimit+1)
+		}(), ErrBadPayload},
+		{"stats-trailing-garbage", append(mk(Request{Op: OpStats}), 0xAA), ErrBadPayload},
+		{"drain-trailing-garbage", append(mk(Request{Op: OpDrain}), 1, 2, 3), ErrBadPayload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRequest(tc.body)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeResponseHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		body []byte
+		want error
+	}{
+		{"empty", OpGet, nil, ErrTruncated},
+		{"bad-status", OpGet, append(make([]byte, 8), 200), ErrBadOp},
+		{"error-status-with-payload", OpGet,
+			append(append(make([]byte, 8), byte(StatusFull)), 'x'), ErrBadPayload},
+		{"multiget-count-lies", OpMultiGet, func() []byte {
+			b := append(make([]byte, 8), byte(StatusOK))
+			b = binary.BigEndian.AppendUint32(b, 3)
+			return binary.BigEndian.AppendUint32(b, 100) // vlen 100, no bytes
+		}(), ErrTruncated},
+		{"multiget-over-limit", OpMultiGet, func() []byte {
+			b := append(make([]byte, 8), byte(StatusOK))
+			return binary.BigEndian.AppendUint32(b, MaxKeys+1)
+		}(), ErrBadPayload},
+		{"scan-huge-count", OpScan, func() []byte {
+			b := append(make([]byte, 8), byte(StatusOK))
+			return binary.BigEndian.AppendUint32(b, MaxScanLimit)
+		}(), ErrTruncated},
+		{"delete-trailing-garbage", OpDelete,
+			append(append(make([]byte, 8), byte(StatusOK)), 1, 0xFF), ErrBadPayload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeResponse(tc.op, tc.body)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStatusErrMapping(t *testing.T) {
+	cases := []struct {
+		st   Status
+		want error
+	}{
+		{StatusOK, nil},
+		{StatusNotFound, nil},
+		{StatusFull, ErrFull},
+		{StatusClosed, ErrClosed},
+		{StatusUnsupported, ErrUnsupported},
+		{StatusValueSize, ErrValueSize},
+		{StatusBadRequest, ErrBadRequest},
+		{StatusBackpressure, ErrBackpressure},
+		{StatusInternal, ErrInternal},
+		{Status(250), ErrInternal},
+	}
+	for _, tc := range cases {
+		if got := tc.st.Err(); !errors.Is(got, tc.want) || (tc.want == nil && got != nil) {
+			t.Fatalf("%v.Err() = %v, want %v", tc.st, got, tc.want)
+		}
+	}
+}
+
+func TestAppendFramePatchesLength(t *testing.T) {
+	// Appending into a non-empty dst must patch the right prefix.
+	head := []byte{0xDE, 0xAD}
+	frame := AppendRequest(head, &Request{ID: 1, Op: OpDrain})
+	if !bytes.Equal(frame[:2], head) {
+		t.Fatal("dst head clobbered")
+	}
+	n := binary.BigEndian.Uint32(frame[2:6])
+	if int(n) != len(frame)-6 {
+		t.Fatalf("prefix %d != body %d", n, len(frame)-6)
+	}
+}
