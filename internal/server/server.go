@@ -12,7 +12,10 @@
 //     a mutex when the index lacks concurrent-write support).
 //   - A writer goroutine drains a bounded response queue into a
 //     buffered socket writer, flushing when the queue goes idle — so a
-//     pipelined burst is written back in large socket writes.
+//     pipelined burst is written back in large socket writes. Writes
+//     run under a deadline: a client that stops reading turns into a
+//     write error, and the connection is dropped rather than letting a
+//     dead socket wedge the writer with window slots held.
 //
 // The coalescer is one goroutine for the whole server. It collects
 // concurrent point reads — across connections — into a batch, waiting
@@ -21,7 +24,10 @@
 // Store.MultiGet. That turns N scattered index probes + N scattered
 // PMem reads into one offset-ordered batch, which is exactly the
 // amortisation MultiGet exists for; the batch-size histogram in
-// telemetry shows whether it is actually happening.
+// telemetry shows whether it is actually happening. The coalescer
+// never blocks on any one connection: a connection whose response
+// queue is full (a stalled client) is dropped, so one misbehaving
+// client cannot halt the shared read path.
 //
 // Graceful drain never drops an admitted request: Shutdown stops the
 // accept loop, half-closes every connection's read side (in-flight
@@ -43,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/stats"
 	"learnedpieces/internal/telemetry"
 	"learnedpieces/internal/viper"
@@ -61,6 +68,12 @@ const (
 	// DefaultCoalesceBatch flushes a batch early at this size; it also
 	// bounds the MultiGet fan-in (and stays under wire.MaxKeys).
 	DefaultCoalesceBatch = 256
+	// DefaultWriteTimeout bounds one socket write. A client that stops
+	// reading responses stalls its connection's writer against a full
+	// TCP buffer; the deadline turns that stall into a write error that
+	// tears the connection down instead of holding its queue (and its
+	// admitted window slots) forever.
+	DefaultWriteTimeout = 30 * time.Second
 	// outSlack is response-queue headroom beyond the admission window,
 	// reserved for backpressure replies (which bypass the window).
 	outSlack = 64
@@ -84,6 +97,11 @@ type Config struct {
 	// DefaultCoalesceBatch, and any value <= 1 disables coalescing
 	// (every get becomes its own store call).
 	CoalesceBatch int
+	// WriteTimeout bounds one socket write (Write or Flush) to a
+	// connection; a write that exceeds it fails and the connection is
+	// dropped. 0 means DefaultWriteTimeout; negative disables deadlines
+	// (tests with deadline-free shims).
+	WriteTimeout time.Duration
 	// Sink receives the server's counters via SetServerProbe; nil
 	// leaves server telemetry disabled.
 	Sink *telemetry.Sink
@@ -105,6 +123,7 @@ type metrics struct {
 	coalescedGets   telemetry.Counter
 	flushFull       telemetry.Counter
 	flushTimer      telemetry.Counter
+	stalledConns    telemetry.Counter
 	drains          telemetry.Counter
 
 	batch *stats.Histogram
@@ -127,6 +146,7 @@ func (m *metrics) snapshot() telemetry.ServerSnapshot {
 		BatchMax:        m.batch.Max(),
 		FlushFull:       m.flushFull.Load(),
 		FlushTimer:      m.flushTimer.Load(),
+		StalledConns:    m.stalledConns.Load(),
 		Drains:          m.drains.Load(),
 	}
 }
@@ -213,6 +233,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CoalesceBatch > wire.MaxKeys {
 		cfg.CoalesceBatch = wire.MaxKeys
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
 	}
 	caps := cfg.Store.Caps()
 	s := &Server{
@@ -414,7 +437,7 @@ func (c *conn) readLoop(nc net.Conn) {
 			s.getc <- getReq{c: c, id: req.ID, key: req.Key}
 			continue
 		}
-		c.send(s.execute(&req), true)
+		c.sendBuf(s.executeFrame(&req), 1)
 	}
 }
 
@@ -422,16 +445,49 @@ func (c *conn) readLoop(nc net.Conn) {
 // flushing whenever the queue goes idle. In-flight accounting is
 // released here — after the response is on its way out — so the window
 // measures genuinely unanswered requests.
+//
+// Every socket write runs under cfg.WriteTimeout: a client that stops
+// reading responses would otherwise park this goroutine on a full TCP
+// buffer forever, with its admitted window slots held and its queue
+// filling behind it. On the first write failure the connection is
+// closed (unblocking the reader) and the loop keeps draining the queue
+// without writing, so accounting still settles and the reader's
+// teardown is never wedged behind a dead socket.
 func (c *conn) writeLoop(nc net.Conn) {
 	s := c.s
 	defer s.connWG.Done()
 	defer func() { _ = nc.Close() }()
 	bw := bufio.NewWriterSize(nc, 64<<10)
+	dead := false
+	write := func(p []byte) {
+		if dead {
+			return
+		}
+		if s.cfg.WriteTimeout > 0 {
+			_ = nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if _, err := bw.Write(p); err != nil {
+			dead = true
+			_ = nc.Close()
+			return
+		}
+		s.met.bytesOut.Add(int64(len(p)))
+	}
+	flush := func() {
+		if dead {
+			return
+		}
+		if s.cfg.WriteTimeout > 0 {
+			_ = nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := bw.Flush(); err != nil {
+			dead = true
+			_ = nc.Close()
+		}
+	}
 	for msg := range c.out {
 		for {
-			if _, err := bw.Write(msg.buf); err == nil {
-				s.met.bytesOut.Add(int64(len(msg.buf)))
-			}
+			write(msg.buf)
 			if msg.admitted > 0 {
 				c.inFlight.Add(-int64(msg.admitted))
 				s.met.inFlight.Add(-int64(msg.admitted))
@@ -440,7 +496,7 @@ func (c *conn) writeLoop(nc net.Conn) {
 			select {
 			case m, ok := <-c.out:
 				if !ok {
-					_ = bw.Flush()
+					flush()
 					return
 				}
 				msg = m
@@ -449,25 +505,57 @@ func (c *conn) writeLoop(nc net.Conn) {
 			}
 			break
 		}
-		_ = bw.Flush()
+		flush()
 	}
 }
 
 // send encodes r and queues it for the writer. Blocking here is
 // deliberate: the queue is sized so admitted responses always fit, and
 // a reader blocked on its own rejection replies just stops reading —
-// which is backpressure doing its job.
+// which is backpressure doing its job. Only the connection's own
+// reader may block here; the shared coalescer uses trySend.
 func (c *conn) send(r *wire.Response, admitted bool) {
 	n := 0
 	if admitted {
 		n = 1
 	}
-	c.out <- outMsg{buf: wire.AppendResponse(nil, r), admitted: n}
+	c.sendBuf(wire.AppendResponse(nil, r), n)
+}
+
+// sendBuf queues an already-encoded buffer carrying admitted
+// window-holding responses.
+func (c *conn) sendBuf(buf []byte, admitted int) {
+	c.out <- outMsg{buf: buf, admitted: admitted}
+}
+
+// Response frame budget bookkeeping, in body bytes: a response body is
+// id (8) + status (1) plus its payload, and must stay under
+// wire.MaxFrame or the client's ReadFrame rejects it and the
+// connection is poisoned for every request in flight on it.
+const (
+	respHeaderBytes = 8 + 1
+	scanEntryBytes  = 8 + 4 // per-entry key + value-length prefix
+	mgValueBytes    = 4     // per-value length prefix
+)
+
+// executeFrame runs one non-coalesced request and returns its encoded
+// response frame. Read results (Get/MultiGet/Scan values) alias the
+// PMem region, so for read ops the store call and the encode both
+// happen under one epoch pin: a concurrent Compact's page frees are
+// deferred past the encode, upholding viper's rule that region aliases
+// must not be retained unpinned.
+func (s *Server) executeFrame(req *wire.Request) []byte {
+	if reads(req.Op) {
+		g := epoch.Enter(req.Key)
+		defer g.Exit()
+	}
+	return wire.AppendResponse(nil, s.execute(req))
 }
 
 // execute runs one non-coalesced request against the store and builds
 // its response. Runs on the reader goroutine (or under opMu when the
-// index needs serialisation).
+// index needs serialisation). Callers encoding read responses must
+// hold an epoch pin across the call and the encode (see executeFrame).
 func (s *Server) execute(req *wire.Request) *wire.Response {
 	resp := &wire.Response{ID: req.ID}
 	switch {
@@ -500,10 +588,41 @@ func (s *Server) execute(req *wire.Request) *wire.Response {
 		resp.Status = statusOf(err)
 		resp.Existed = existed
 	case wire.OpMultiGet:
-		resp.Values = s.store.MultiGet(req.Keys)
+		vals := s.store.MultiGet(req.Keys)
+		// A batch of large values can exceed what one legal frame
+		// carries; truncating is not an option (the client correlates
+		// values by index), so refuse the whole response rather than
+		// emit a frame the client must reject.
+		body := respHeaderBytes + 4
+		for _, v := range vals {
+			body += mgValueBytes + len(v)
+		}
+		if body > wire.MaxFrame {
+			resp.Status = wire.StatusBadRequest
+			break
+		}
+		resp.Values = vals
 	case wire.OpScan:
-		entries := make([]wire.Entry, 0, req.Limit)
+		// DecodeRequest already rejects these; kept for direct callers
+		// so execute never passes n=0 (unlimited) to Store.Scan.
+		if req.Limit == 0 || req.Limit > wire.MaxScanLimit {
+			resp.Status = wire.StatusBadRequest
+			break
+		}
+		prealloc := int(req.Limit)
+		if prealloc > 1024 {
+			prealloc = 1024
+		}
+		entries := make([]wire.Entry, 0, prealloc)
+		// Scans return *up to* Limit entries, so the frame budget is
+		// enforced by truncation: stop before the entry that would push
+		// the response body past wire.MaxFrame.
+		body := respHeaderBytes + 4
 		err := s.store.Scan(req.Key, int(req.Limit), func(k uint64, v []byte) bool {
+			if body+scanEntryBytes+len(v) > wire.MaxFrame {
+				return false
+			}
+			body += scanEntryBytes + len(v)
 			entries = append(entries, wire.Entry{Key: k, Value: v})
 			return true
 		})
@@ -622,6 +741,10 @@ func (s *Server) runCoalescer() {
 		for _, r := range reqs {
 			keys = append(keys, r.key)
 		}
+		// Pin an epoch across the store call AND the encode below: the
+		// returned values alias the PMem region, and the pin defers a
+		// concurrent Compact's page frees until the encode is done.
+		g := epoch.Enter(0)
 		var vals [][]byte
 		switch {
 		case s.readsExclusive:
@@ -635,14 +758,15 @@ func (s *Server) runCoalescer() {
 		default:
 			vals = s.store.MultiGet(keys)
 		}
-		// Encode immediately (the returned values alias the PMem region
-		// and must not outlive this batch), grouping responses by origin
-		// connection: one writer handoff per connection per batch, not
-		// one per get — most of the coalescer's per-op overhead is that
-		// channel hop. First pass sizes each connection's buffer exactly
-		// (frame prefix + id + status + value) so the encode pass never
-		// grows a slice mid-batch; b.n holds the byte total during
-		// sizing, then becomes the response count the writer releases.
+		// Encode immediately, still under the epoch pin (the returned
+		// values alias the PMem region and must not outlive it),
+		// grouping responses by origin connection: one writer handoff
+		// per connection per batch, not one per get — most of the
+		// coalescer's per-op overhead is that channel hop. First pass
+		// sizes each connection's buffer exactly (frame prefix + id +
+		// status + value) so the encode pass never grows a slice
+		// mid-batch; b.n holds the byte total during sizing, then
+		// becomes the response count the writer releases.
 		for i, r := range reqs {
 			b := groups[r.c]
 			b.n += 4 + 8 + 1 + len(vals[i])
@@ -665,8 +789,25 @@ func (s *Server) runCoalescer() {
 			b.n++
 			groups[r.c] = b
 		}
+		g.Exit()
+		// Deliver without ever blocking: this goroutine is shared by
+		// every connection, so a blocking send here would let one
+		// stalled client (full response queue behind a writer that is
+		// not draining) halt coalesced reads for the whole server. A
+		// full queue means the connection is already past backpressure
+		// — its writer is stalled and its reader is parked on its own
+		// rejections — so drop it: settle its accounting here and close
+		// the socket, which unblocks its writer and reader to tear the
+		// rest down.
 		for c, b := range groups {
-			c.out <- outMsg{buf: b.buf, admitted: b.n}
+			select {
+			case c.out <- outMsg{buf: b.buf, admitted: b.n}:
+			default:
+				s.met.stalledConns.Inc()
+				c.inFlight.Add(-int64(b.n))
+				s.met.inFlight.Add(-int64(b.n))
+				_ = c.raw.Close()
+			}
 			c.reqWG.Add(-b.n)
 			delete(groups, c)
 		}

@@ -390,5 +390,176 @@ func TestServerSerialisesNonConcurrentIndex(t *testing.T) {
 	wg.Wait()
 }
 
+func TestServerScanLimitZeroRejected(t *testing.T) {
+	_, store, addr := startServer(t, "xindex", Config{})
+	if err := store.BulkPut([]uint64{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nc.Close() }()
+	// Limit 0 used to mean "unlimited" to Store.Scan: one tiny frame
+	// snapshotting the whole store into a response bigger than
+	// wire.MaxFrame. It must be answered StatusBadRequest instead.
+	frame := wire.AppendRequest(nil, &wire.Request{ID: 9, Op: wire.OpScan, Key: 0, Limit: 0})
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br := newBufReader(nc)
+	body, err := wire.ReadFrame(br, nil)
+	if err != nil {
+		t.Fatalf("no response to zero-limit scan: %v", err)
+	}
+	if wire.PeekID(body) != 9 || wire.Status(body[8]) != wire.StatusBadRequest {
+		t.Fatalf("got id %d status %v, want id 9 StatusBadRequest",
+			wire.PeekID(body), wire.Status(body[8]))
+	}
+}
+
+func TestServerFrameBudget(t *testing.T) {
+	_, store, addr := startServer(t, "xindex", Config{})
+	// 100 records of 200 KiB: any response carrying all of them would be
+	// ~20 MiB, past wire.MaxFrame (16 MiB).
+	val := bytes.Repeat([]byte{0xAB}, 200<<10)
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if err := store.Put(keys[i], val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+
+	t.Run("scan-truncates", func(t *testing.T) {
+		entries, err := c.Scan(ctx, 1, len(keys))
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		// Fewer than asked — the server truncated at the frame budget —
+		// but not empty, and the frame made it through ReadFrame intact.
+		if len(entries) == 0 || len(entries) >= len(keys) {
+			t.Fatalf("got %d entries, want 0 < n < %d (frame-budget truncation)",
+				len(entries), len(keys))
+		}
+		if !bytes.Equal(entries[0].Value, val) {
+			t.Fatal("scan entry value corrupted")
+		}
+	})
+
+	t.Run("multiget-refused", func(t *testing.T) {
+		// MultiGet cannot truncate (values correlate by index), so an
+		// over-budget batch is refused outright...
+		if _, err := c.MultiGet(ctx, keys); !errors.Is(err, wire.ErrBadRequest) {
+			t.Fatalf("oversized multiget: got %v, want wire.ErrBadRequest", err)
+		}
+		// ...without poisoning the connection for later requests.
+		v, ok, err := c.Get(ctx, 1)
+		if err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("connection unusable after refused multiget: %v %v", ok, err)
+		}
+	})
+}
+
+// TestCoalescerDropsStalledConn drives the shared coalescer against a
+// connection whose response queue is full and whose writer is not
+// draining — the one-bad-client scenario. The coalescer must never
+// block on it: the batch completes (reqWG settles), the stalled
+// connection is dropped, and its in-flight accounting is released.
+func TestCoalescerDropsStalledConn(t *testing.T) {
+	region := pmem.NewRegion(16<<20, pmem.None())
+	b, ok := core.Lookup("xindex")
+	if !ok {
+		t.Fatal("unknown index xindex")
+	}
+	store := viper.Open(region, b.New())
+	defer func() { _ = store.Close() }()
+	if err := store.Put(1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, CoalesceWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.coalesce.Add(1)
+	go srv.runCoalescer()
+	defer func() {
+		close(srv.stopc)
+		srv.coalesce.Wait()
+	}()
+
+	p1, p2 := net.Pipe()
+	defer func() { _ = p2.Close() }()
+	stalled := &conn{s: srv, raw: p1, out: make(chan outMsg, 1)}
+	stalled.out <- outMsg{} // queue full, nobody draining
+	stalled.inFlight.Add(1)
+	srv.met.inFlight.Add(1)
+	stalled.reqWG.Add(1)
+	srv.getc <- getReq{c: stalled, id: 7, key: 1}
+
+	done := make(chan struct{})
+	go func() { stalled.reqWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalescer blocked on a stalled connection")
+	}
+	// The stalled peer was disconnected (read unblocks with an error).
+	_ = p2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := p2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled connection was not closed")
+	}
+	if got := srv.met.stalledConns.Load(); got != 1 {
+		t.Fatalf("stalled conns counter = %d, want 1", got)
+	}
+	if got := srv.met.inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight gauge leaked: %d", got)
+	}
+}
+
+// TestWriteLoopDropsStalledWriter parks a connection's writer against a
+// peer that never reads (net.Pipe is unbuffered). The write deadline
+// must turn the stall into a teardown: the loop exits, releasing its
+// in-flight accounting, instead of holding the goroutine forever.
+func TestWriteLoopDropsStalledWriter(t *testing.T) {
+	region := pmem.NewRegion(16<<20, pmem.None())
+	b, ok := core.Lookup("xindex")
+	if !ok {
+		t.Fatal("unknown index xindex")
+	}
+	store := viper.Open(region, b.New())
+	defer func() { _ = store.Close() }()
+	srv, err := New(Config{Store: store, WriteTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := net.Pipe()
+	defer func() { _ = p2.Close() }()
+	c := &conn{s: srv, raw: p1, out: make(chan outMsg, 4)}
+	c.inFlight.Add(1)
+	srv.met.inFlight.Add(1)
+	srv.connWG.Add(1)
+	go c.writeLoop(p1)
+	c.out <- outMsg{buf: make([]byte, 1024), admitted: 1}
+	close(c.out)
+	done := make(chan struct{})
+	go func() { srv.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writeLoop wedged on a stalled socket")
+	}
+	if got := srv.met.inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight gauge leaked: %d", got)
+	}
+}
+
 // newBufReader builds the bufio.Reader ReadFrame wants from a net.Conn.
 func newBufReader(nc net.Conn) *bufio.Reader { return bufio.NewReader(nc) }

@@ -427,6 +427,13 @@ func (s *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 	from := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > start })
 	var buf []kv
 	for i := from; i < len(s.shards); i++ {
+		// Done before touching the next shard: when count hit n exactly
+		// as a shard's buffer ran out, need would be 0 below — which
+		// collectShard reads as unlimited, snapshotting a whole shard
+		// (stalling its writers) only to discard every entry.
+		if n > 0 && count >= n {
+			return
+		}
 		need := 0
 		if n > 0 {
 			need = n - count

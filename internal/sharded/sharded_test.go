@@ -7,6 +7,7 @@ import (
 
 	"learnedpieces/internal/btree"
 	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/epoch"
 	"learnedpieces/internal/index"
 	"learnedpieces/internal/indextest"
 	"learnedpieces/internal/skiplist"
@@ -161,6 +162,40 @@ func TestOptimisticReadersUnderWriters(t *testing.T) {
 
 	if s.Len() != len(keys) {
 		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
+	}
+}
+
+// TestScanStopsAtExactShardBoundary covers the count==n corner: when
+// the limit is satisfied exactly as one shard's entries run out, the
+// scan must not touch the next shard at all. (Before the fix, the next
+// iteration computed need=0 — "unlimited" to collectShard — and
+// snapshotted an entire shard under its read protocol only to discard
+// every entry.) Shard visits are observable through the optimistic-read
+// attempt counter, which collectShard bumps once per shard.
+func TestScanStopsAtExactShardBoundary(t *testing.T) {
+	s := New(func() index.Index { return btree.New() }, []uint64{100})
+	for k := uint64(0); k < 10; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(100); k < 110; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := epoch.GlobalStats().ReadAttempts
+	var got []uint64
+	s.Scan(0, 10, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	attempts := epoch.GlobalStats().ReadAttempts - before
+	if len(got) != 10 || got[0] != 0 || got[9] != 9 {
+		t.Fatalf("scan visited %v", got)
+	}
+	if attempts != 1 {
+		t.Fatalf("scan registered on %d shards, want 1 (limit hit at shard 0's last entry)", attempts)
 	}
 }
 

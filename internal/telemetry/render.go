@@ -87,6 +87,7 @@ func (sn Snapshot) WriteText(w io.Writer) {
 		st.AddRow("batch size max", sv.BatchMax)
 		st.AddRow("flushes (batch full)", sv.FlushFull)
 		st.AddRow("flushes (timer)", sv.FlushTimer)
+		st.AddRow("stalled conns dropped", sv.StalledConns)
 		st.AddRow("drains", sv.Drains)
 		fmt.Fprintln(w)
 		st.Render(w)

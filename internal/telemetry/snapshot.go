@@ -134,6 +134,10 @@ type ServerSnapshot struct {
 	BatchMax        int64 `json:"batch_max"`
 	FlushFull       int64 `json:"flush_full"`
 	FlushTimer      int64 `json:"flush_timer"`
+	// StalledConns counts connections dropped because their response
+	// queue was full when the coalescer tried to deliver — a client
+	// that stopped reading its responses.
+	StalledConns int64 `json:"stalled_conns"`
 	// Drains counts graceful drains served (OpDrain requests plus
 	// shutdown drains).
 	Drains int64 `json:"drains"`
@@ -157,6 +161,7 @@ func (s ServerSnapshot) add(o ServerSnapshot) ServerSnapshot {
 	}
 	s.FlushFull += o.FlushFull
 	s.FlushTimer += o.FlushTimer
+	s.StalledConns += o.StalledConns
 	s.Drains += o.Drains
 	return s
 }

@@ -186,7 +186,7 @@ var (
 //	OpGet      Key
 //	OpDelete   Key
 //	OpMultiGet Keys
-//	OpScan     Key (start), Limit
+//	OpScan     Key (start), Limit (1..MaxScanLimit; 0 is invalid)
 //	OpStats    —
 //	OpDrain    —
 type Request struct {
@@ -451,7 +451,10 @@ func DecodeRequest(b []byte) (Request, error) {
 		if r.Limit, err = c.u32(); err != nil {
 			return Request{}, err
 		}
-		if r.Limit > MaxScanLimit {
+		// Zero is rejected, not "unlimited": an unbounded scan would let
+		// one 21-byte frame snapshot the whole store and build a
+		// response past MaxFrame.
+		if r.Limit == 0 || r.Limit > MaxScanLimit {
 			return Request{}, fmt.Errorf("%w: scan limit %d", ErrBadPayload, r.Limit)
 		}
 	case OpStats, OpDrain:

@@ -187,6 +187,13 @@ func TestDecodeRequestHostile(t *testing.T) {
 			b = binary.BigEndian.AppendUint64(b, 1)
 			return binary.BigEndian.AppendUint32(b, MaxScanLimit+1)
 		}(), ErrBadPayload},
+		{"scan-zero-limit", func() []byte {
+			// Limit 0 would mean "unlimited" to the store: one 21-byte
+			// frame snapshotting everything. Must be rejected.
+			b := append(make([]byte, 8), byte(OpScan))
+			b = binary.BigEndian.AppendUint64(b, 1)
+			return binary.BigEndian.AppendUint32(b, 0)
+		}(), ErrBadPayload},
 		{"stats-trailing-garbage", append(mk(Request{Op: OpStats}), 0xAA), ErrBadPayload},
 		{"drain-trailing-garbage", append(mk(Request{Op: OpDrain}), 1, 2, 3), ErrBadPayload},
 	}
