@@ -1,0 +1,456 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deadline-discipline: socket I/O must be bounded. A write to a socket
+// (or to a bufio.Writer wrapping one) blocks forever when the peer
+// stalls and TCP backpressure fills the kernel buffer — so every write
+// site must be dominated, earlier in the same function, by a
+// SetWriteDeadline/SetDeadline call. Reads are different: a server or
+// demux loop legitimately parks in a read waiting for the next request,
+// so a read site passes either with a dominating
+// SetReadDeadline/SetDeadline or by propagating its error out of the
+// loop (the result's error is tested in an if whose body returns or
+// breaks — the shape that turns a dead connection into loop exit
+// instead of a hot retry spin).
+//
+// What counts as socket-backed, per function:
+//
+//   - any expression whose type is (or implements) net.Conn;
+//   - a struct field assigned anywhere in the package from a
+//     bufio.NewReader*/NewWriter* call over a net.Conn (the
+//     client.Conn.bw pattern: wrapped at construction, written
+//     elsewhere);
+//   - a local or parameter of type *bufio.Reader/*bufio.Writer wrapped
+//     from, or assigned from, a socket-backed value — parameters are
+//     assumed socket-backed, which is what makes helpers like
+//     wire.ReadFrame audited: they must propagate errors, and their
+//     callers are checked at the call site because a socket-backed
+//     *bufio.Reader argument makes the call itself a read site.
+//
+// Known gap, on purpose: a helper that receives a raw net.Conn (not a
+// bufio wrapper) is not treated as a read/write site at the call —
+// the helper's own body is checked instead, wherever it lives.
+var DeadlineDiscipline = &Analyzer{
+	Name: "deadline-discipline",
+	Doc:  "socket writes are dominated by SetWriteDeadline; socket reads carry a deadline or propagate their error",
+	Run:  runDeadline,
+}
+
+var bufioReadMethods = map[string]bool{
+	"Read": true, "ReadByte": true, "ReadBytes": true, "ReadString": true,
+	"ReadRune": true, "Peek": true, "Discard": true,
+}
+
+var bufioWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Flush": true, "ReadFrom": true,
+}
+
+func runDeadline(pass *Pass) {
+	pkg := pass.Pkg
+	conn := connInterface(pkg.Pkg)
+	if conn == nil && !importsPath(pkg.Pkg, "bufio") {
+		return // no sockets and no buffered wrappers: nothing to check
+	}
+	fields := socketFields(pkg, conn)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeadlines(pass, fd, conn, fields)
+		}
+	}
+}
+
+// connInterface finds net.Conn in the package's direct imports.
+func connInterface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net" {
+			continue
+		}
+		tn, ok := imp.Scope().Lookup("Conn").(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, _ := tn.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+func importsPath(pkg *types.Package, path string) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// isConnType reports whether t is (or implements) net.Conn.
+func isConnType(t types.Type, conn *types.Interface) bool {
+	if conn == nil || t == nil {
+		return false
+	}
+	return types.Implements(t, conn) || types.Implements(types.NewPointer(t), conn)
+}
+
+// isBufio reports whether t is *bufio.Reader (kind "Reader") or
+// *bufio.Writer (kind "Writer").
+func isBufio(t types.Type, kind string) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "bufio" && obj.Name() == kind
+}
+
+// bufioWrapCall matches bufio.NewReader*/NewWriter* and returns its
+// wrapped argument.
+func bufioWrapCall(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "bufio" {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "NewReader", "NewReaderSize", "NewWriter", "NewWriterSize", "NewReadWriter":
+		if len(call.Args) > 0 {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// socketFields collects struct fields assigned anywhere in the package
+// from a bufio wrapper over a net.Conn — socket-backed by construction.
+func socketFields(pkg *Package, conn *types.Interface) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	info := pkg.Info
+	connBacked := func(e ast.Expr) bool {
+		if tv, ok := info.Types[e]; ok && isConnType(tv.Type, conn) {
+			return true
+		}
+		return false
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					fv, ok := info.Uses[key].(*types.Var)
+					if !ok || !fv.IsField() {
+						continue
+					}
+					if call, ok := ast.Unparen(kv.Value).(*ast.CallExpr); ok {
+						if arg, ok := bufioWrapCall(info, call); ok && connBacked(arg) {
+							out[fv] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					fv, ok := info.Uses[sel.Sel].(*types.Var)
+					if !ok || !fv.IsField() {
+						continue
+					}
+					if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+						if arg, ok := bufioWrapCall(info, call); ok && connBacked(arg) {
+							out[fv] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ioSite is one socket read or write inside a function.
+type ioSite struct {
+	pos   token.Pos
+	call  *ast.CallExpr
+	write bool
+	what  string
+}
+
+func checkDeadlines(pass *Pass, fd *ast.FuncDecl, conn *types.Interface, fields map[*types.Var]bool) {
+	info := pass.Pkg.Info
+
+	// Pass 1 over the body: socket-backed locals (wrapped or aliased),
+	// plus bufio-typed parameters.
+	backed := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			for _, name := range p.Names {
+				obj := info.Defs[name]
+				if obj != nil && (isBufio(obj.Type(), "Reader") || isBufio(obj.Type(), "Writer")) {
+					backed[obj] = true
+				}
+			}
+		}
+	}
+	var socketBacked func(e ast.Expr) bool
+	socketBacked = func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if tv, ok := info.Types[e]; ok && isConnType(tv.Type, conn) {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			return backed[info.Uses[e]] || backed[info.Defs[e]]
+		case *ast.SelectorExpr:
+			if fv, ok := info.Uses[e.Sel].(*types.Var); ok {
+				return fields[fv]
+			}
+		}
+		return false
+	}
+	// Iterate local-alias discovery to a fixpoint (assignments appear in
+	// source order almost always; two rounds cover the stragglers).
+	for range [2]int{} {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				rhs := ast.Unparen(as.Rhs[i])
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if arg, ok := bufioWrapCall(info, call); ok && socketBacked(arg) {
+						backed[obj] = true
+					}
+					continue
+				}
+				if socketBacked(rhs) {
+					backed[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: collect I/O sites and deadline calls.
+	var sites []ioSite
+	var readDeadlines, writeDeadlines []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			switch name {
+			case "SetDeadline":
+				if socketBacked(sel.X) {
+					readDeadlines = append(readDeadlines, call.Pos())
+					writeDeadlines = append(writeDeadlines, call.Pos())
+				}
+				return true
+			case "SetReadDeadline":
+				if socketBacked(sel.X) {
+					readDeadlines = append(readDeadlines, call.Pos())
+				}
+				return true
+			case "SetWriteDeadline":
+				if socketBacked(sel.X) {
+					writeDeadlines = append(writeDeadlines, call.Pos())
+				}
+				return true
+			}
+			if socketBacked(sel.X) {
+				recvTV, okT := info.Types[ast.Unparen(sel.X)]
+				if !okT || recvTV.Type == nil {
+					return true
+				}
+				onWriter := isBufio(recvTV.Type, "Writer")
+				onReader := isBufio(recvTV.Type, "Reader")
+				switch {
+				case (onWriter && bufioWriteMethods[name]) || (!onWriter && !onReader && name == "Write"):
+					sites = append(sites, ioSite{pos: call.Pos(), call: call, write: true, what: name})
+				case (onReader && bufioReadMethods[name]) || (!onWriter && !onReader && name == "Read"):
+					sites = append(sites, ioSite{pos: call.Pos(), call: call, what: name})
+				}
+				return true
+			}
+		}
+		// A socket-backed *bufio.Reader passed as an argument makes the
+		// call a read site (wire.ReadFrame, io.ReadFull): the helper is
+		// audited to propagate errors, so the caller must check them.
+		if _, isWrap := bufioWrapCall(info, call); !isWrap {
+			for _, arg := range call.Args {
+				if tv, ok := info.Types[ast.Unparen(arg)]; ok && isBufio(tv.Type, "Reader") && socketBacked(arg) {
+					name := "read helper"
+					if fn := calleeFunc(info, call); fn != nil {
+						name = fn.Name()
+					}
+					sites = append(sites, ioSite{pos: call.Pos(), call: call, what: name})
+					break
+				}
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	dominated := func(deadlines []token.Pos, pos token.Pos) bool {
+		for _, d := range deadlines {
+			if d < pos {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range sites {
+		if s.write {
+			if !dominated(writeDeadlines, s.pos) {
+				pass.Reportf(s.pos, "socket %s in %s without a preceding SetWriteDeadline (a stalled peer blocks this forever)", s.what, fd.Name.Name)
+			}
+			continue
+		}
+		if dominated(readDeadlines, s.pos) || readErrorChecked(info, fd.Body, s.call) {
+			continue
+		}
+		pass.Reportf(s.pos, "socket %s in %s with neither a read deadline nor error-checked exit (a dead connection spins or parks this forever)", s.what, fd.Name.Name)
+	}
+}
+
+// readErrorChecked reports whether the read call's error result is
+// tested in an if statement whose body leaves the loop or function —
+// the demux-loop exit shape that excuses a deadline-less read.
+func readErrorChecked(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	errType := types.Universe.Lookup("error").Type()
+	// Find the statement list containing the call's assignment.
+	var found bool
+	var check func(list []ast.Stmt) bool
+	containsCall := func(n ast.Node) bool {
+		ok := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == call {
+				ok = true
+			}
+			return !ok
+		})
+		return ok
+	}
+	errIdent := func(as *ast.AssignStmt) *types.Object {
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil && types.Identical(obj.Type(), errType) {
+				return &obj
+			}
+		}
+		return nil
+	}
+	exits := func(b *ast.BlockStmt) bool {
+		ok := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				ok = true
+			case *ast.BranchStmt:
+				if n.Tok == token.BREAK || n.Tok == token.GOTO {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		return ok
+	}
+	mentions := func(e ast.Expr, obj types.Object) bool {
+		ok := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, isID := n.(*ast.Ident); isID && (info.Uses[id] == obj) {
+				ok = true
+			}
+			return !ok
+		})
+		return ok
+	}
+	check = func(list []ast.Stmt) bool {
+		for i, st := range list {
+			if !containsCall(st) {
+				// Recurse into nested blocks via the generic walker below.
+				continue
+			}
+			// `if _, err := read(); err != nil { exit }`
+			if ifs, ok := st.(*ast.IfStmt); ok {
+				if as, ok := ifs.Init.(*ast.AssignStmt); ok && containsCall(as) {
+					if objp := errIdent(as); objp != nil && mentions(ifs.Cond, *objp) && exits(ifs.Body) {
+						found = true
+						return true
+					}
+				}
+			}
+			// `x, err := read()` followed by `if err != nil { exit }`
+			if as, ok := st.(*ast.AssignStmt); ok && containsCall(as) {
+				if objp := errIdent(as); objp != nil {
+					for _, later := range list[i+1:] {
+						if ifs, ok := later.(*ast.IfStmt); ok && mentions(ifs.Cond, *objp) {
+							if exits(ifs.Body) {
+								found = true
+							}
+							return true
+						}
+					}
+				}
+			}
+			return true
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			check(b.List)
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// frame-bounds: in a package that declares a frame budget (a constant
+// named MaxFrame), byte-slice arithmetic on frame buffers must be
+// visibly bounded. Two rules, both per function:
+//
+//  1. Every make of a slice whose length is not a constant must be
+//     dominated by a guard — an earlier if statement that names the
+//     same length value, compares it against a declared bound (an
+//     identifier starting with Max/min, a len(...) call, or a
+//     remaining() cursor call), and exits on violation. This is the
+//     "validate against MaxFrame before you allocate" contract: a
+//     hostile length prefix must be rejected before it becomes an
+//     allocation.
+//
+//  2. Every slice or index expression over a []byte value must either
+//     be dominated by such a guard naming a value from the expression,
+//     or use only construction-safe bounds: integer literals, len(...)
+//     calls, locals assigned from len(...) in the same body, and +/-
+//     arithmetic over those (the append-then-patch encoder shape, where
+//     offsets are derived from the very buffer being indexed). Slices
+//     of arrays are exempt — the compiler bounds those.
+//
+// "Dominated" is approximated as "textually earlier in the same
+// function body with an exiting if body", which matches how the wire
+// package is written; the point is that the check must exist next to
+// the arithmetic, not in a comment.
+var FrameBounds = &Analyzer{
+	Name: "frame-bounds",
+	Doc:  "frame-buffer slicing and frame-sized allocation are dominated by a length check against the declared bound",
+	Run:  runFrameBounds,
+}
+
+func runFrameBounds(pass *Pass) {
+	pkg := pass.Pkg
+	if _, ok := pkg.Pkg.Scope().Lookup("MaxFrame").(*types.Const); !ok {
+		return // no declared frame budget: out of scope
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFrameBounds(pass, fd)
+		}
+	}
+}
+
+// guard is one if statement that can dominate a use: it exits (returns,
+// panics, or branches) when its condition trips, and we record which
+// identifiers its condition names and whether it mentions a bound.
+type guard struct {
+	pos    token.Pos
+	idents map[string]bool
+	bound  bool
+}
+
+func checkFrameBounds(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fd.Name.Name
+
+	// Collect guards and len-assigned locals first.
+	var guards []guard
+	lenLocals := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if !exitsOnTrip(n.Body) {
+				return true
+			}
+			g := guard{pos: n.Pos(), idents: make(map[string]bool)}
+			ast.Inspect(n.Cond, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.Ident:
+					g.idents[m.Name] = true
+					if isBoundName(m.Name) {
+						g.bound = true
+					}
+				case *ast.CallExpr:
+					if calleeNamed(m, "len") || calleeNamed(m, "remaining") || calleeNamed(m, "cap") {
+						g.bound = true
+					}
+				}
+				return true
+			})
+			if g.bound {
+				guards = append(guards, g)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && calleeNamed(call, "len") {
+					if obj := info.Defs[id]; obj != nil {
+						lenLocals[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	dominated := func(pos token.Pos, e ast.Expr) bool {
+		names := make(map[string]bool)
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+			return true
+		})
+		for _, g := range guards {
+			if g.pos >= pos {
+				continue
+			}
+			for n := range names {
+				if g.idents[n] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var safeBound func(e ast.Expr) bool
+	safeBound = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case nil:
+			return true // omitted slice bound: len(x) by definition
+		case *ast.BasicLit:
+			return e.Kind == token.INT
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				if _, isConst := obj.(*types.Const); isConst {
+					return true
+				}
+				return lenLocals[obj]
+			}
+			return false
+		case *ast.CallExpr:
+			return calleeNamed(e, "len") || calleeNamed(e, "cap")
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD || e.Op == token.SUB {
+				return safeBound(e.X) && safeBound(e.Y)
+			}
+		}
+		return false
+	}
+
+	isByteSlice := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		s, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Uint8
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Rule 1: make with a non-constant length.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(n.Args) >= 2 {
+					ln := n.Args[1]
+					if tv, ok := info.Types[ln]; ok && tv.Value == nil && !safeBound(ln) && !dominated(n.Pos(), ln) {
+						pass.Reportf(n.Pos(), "make with unvalidated length in %s: check it against the declared bound (MaxFrame et al) before allocating", name)
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			if !isByteSlice(n.X) {
+				return true
+			}
+			if safeBound(n.Low) && safeBound(n.High) && safeBound(n.Max) {
+				return true
+			}
+			if !dominated(n.Pos(), n) {
+				pass.Reportf(n.Pos(), "unchecked frame-buffer slice in %s: no dominating length check names a value from this expression", name)
+			}
+		case *ast.IndexExpr:
+			if !isByteSlice(n.X) {
+				return true
+			}
+			if safeBound(n.Index) {
+				return true
+			}
+			if !dominated(n.Pos(), n) {
+				pass.Reportf(n.Pos(), "unchecked frame-buffer index in %s: no dominating length check names a value from this expression", name)
+			}
+		}
+		return true
+	})
+}
+
+// exitsOnTrip reports whether the block bails out: return, panic, or a
+// break/goto/continue.
+func exitsOnTrip(b *ast.BlockStmt) bool {
+	out := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			out = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				out = true
+			}
+		}
+		return !out
+	})
+	return out
+}
+
+// calleeNamed matches a call to a plain function or method whose name
+// is exactly name (len(x), c.remaining()).
+func calleeNamed(call *ast.CallExpr, name string) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == name
+	}
+	return false
+}
+
+// isBoundName matches declared limit identifiers: MaxFrame, MaxValue,
+// minBody and friends.
+func isBoundName(s string) bool {
+	return strings.HasPrefix(s, "Max") || strings.HasPrefix(s, "max") ||
+		strings.HasPrefix(s, "Min") || strings.HasPrefix(s, "min")
+}

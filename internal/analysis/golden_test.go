@@ -101,6 +101,11 @@ func TestGolden(t *testing.T) {
 		{"unchecked-error", "errcheck"},
 		{"probe-discipline", "probe"},
 		{"epoch-discipline", "epoch"},
+		{"hotpath", "hotpathtree"},
+		{"goroutine-lifecycle", "goroutine"},
+		{"deadline-discipline", "deadline"},
+		{"frame-bounds", "framebounds"},
+		{"lock-order", "lockorder"},
 	}
 	loader := testLoader(t)
 	for _, tc := range cases {
@@ -181,7 +186,11 @@ func TestRepoClean(t *testing.T) {
 
 // TestSuiteWiring pins the analyzer set and lookup.
 func TestSuiteWiring(t *testing.T) {
-	want := []string{"caps-discipline", "pmem-discipline", "atomic-discipline", "hotpath", "unchecked-error", "probe-discipline", "epoch-discipline"}
+	want := []string{
+		"caps-discipline", "pmem-discipline", "atomic-discipline", "hotpath",
+		"unchecked-error", "probe-discipline", "epoch-discipline",
+		"goroutine-lifecycle", "deadline-discipline", "frame-bounds", "lock-order",
+	}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

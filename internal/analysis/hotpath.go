@@ -26,24 +26,91 @@ const (
 	meterArg         = "meter"
 )
 
-// HotPath enforces the //pieces:hotpath directive.
+// HotPath enforces the //pieces:hotpath directive, in two layers. The
+// intraprocedural layer checks each marked body directly, exactly as it
+// always has. The transitive layer walks the call-graph engine from
+// every marked function and reports the same class of constructs in any
+// unmarked function the hot path can reach — so the directive is a
+// whole-call-tree guarantee, not a single-body one. Marked callees are
+// trusted boundaries (they are roots of their own check, with their own
+// meter status), and on the call tree of a meter root clock reads stay
+// legal. Transitive findings are reported at the offending construct,
+// not at the directive, so an exception for a deliberately lock-based
+// leaf is one allowlist line on the leaf's file.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "//pieces:hotpath functions stay free of fmt, clocks, locks, channels, defer and allocations",
-	Run: func(pass *Pass) {
-		for _, f := range pass.Pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				hot, meter := hotpathMarked(fd)
-				if hot {
-					checkHotPath(pass, fd, meter)
+	Doc:  "//pieces:hotpath call trees stay free of fmt, clocks, locks, channels, defer and allocations",
+	RunModule: func(mp *ModulePass) {
+		for _, pkg := range mp.Pkgs {
+			pass := &Pass{Reporter: mp.Reporter, Pkg: pkg}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					hot, meter := hotpathMarked(fd)
+					if hot {
+						checkHotPath(pass, fd, meter)
+					}
 				}
 			}
 		}
+		checkHotPathTransitive(mp)
 	},
+}
+
+// checkHotPathTransitive reports hotpath-violating constructs in
+// unmarked functions reachable from a marked root. Roots are visited in
+// source order and each construct is reported once, attributed to the
+// first root that reaches it.
+func checkHotPathTransitive(mp *ModulePass) {
+	eng := mp.Engine()
+	type hit struct {
+		pos  token.Pos
+		what string
+		fn   string
+		root string
+	}
+	var hits []hit
+	seen := make(map[token.Pos]bool)
+	for _, root := range eng.Nodes() {
+		if !root.Hot || !mp.Analyzed(root.Pkg) {
+			continue
+		}
+		visited := make(map[*FuncNode]bool)
+		var walk func(n *FuncNode)
+		walk = func(n *FuncNode) {
+			if visited[n] {
+				return
+			}
+			visited[n] = true
+			for _, v := range n.viols {
+				if v.clock && root.Meter {
+					continue // meters own the clock, tree-wide
+				}
+				if seen[v.pos] {
+					continue
+				}
+				seen[v.pos] = true
+				hits = append(hits, hit{pos: v.pos, what: v.what, fn: n.Name(), root: root.Name()})
+			}
+			for _, e := range n.calls {
+				if e.callee.Hot {
+					continue // trusted boundary: a root of its own check
+				}
+				walk(e.callee)
+			}
+		}
+		for _, e := range root.calls {
+			if !e.callee.Hot {
+				walk(e.callee)
+			}
+		}
+	}
+	for _, h := range hits {
+		mp.Reportf(h.pos, "%s in %s, reached from hotpath %s", h.what, h.fn, h.root)
+	}
 }
 
 // hotpathMarked parses the function's doc comment for the directive.

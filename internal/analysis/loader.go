@@ -266,6 +266,23 @@ func walkPackageDirs(base string) ([]string, error) {
 	return dirs, err
 }
 
+// CachedPackages returns every module package the loader has loaded so
+// far — analyzed targets and module-internal dependencies alike — in
+// stable import-path order. This is the package universe the
+// interprocedural engine builds its call graph over.
+func (l *Loader) CachedPackages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, p := range paths {
+		out[i] = l.pkgs[p]
+	}
+	return out
+}
+
 // relPath renders path relative to root with forward slashes (the form
 // diagnostics and the allowlist use).
 func relPath(root, path string) string {

@@ -1,0 +1,137 @@
+// Package deadline exercises deadline-discipline: socket writes need a
+// dominating SetWriteDeadline; socket reads need a read deadline or an
+// error-checked exit; bufio wrappers over conns — including ones
+// stashed in struct fields at construction — inherit the obligation.
+package deadline
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+)
+
+// WriteRaw writes straight to the conn with no deadline.
+func WriteRaw(nc net.Conn, b []byte) {
+	_, _ = nc.Write(b) // want "socket Write in WriteRaw without a preceding SetWriteDeadline"
+}
+
+// WriteBounded is the compliant shape.
+func WriteBounded(nc net.Conn, b []byte) error {
+	if err := nc.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := nc.Write(b)
+	return err
+}
+
+// WriteBuffered wraps the conn locally; the wrapper is still a socket.
+func WriteBuffered(nc net.Conn, b []byte) error {
+	bw := bufio.NewWriter(nc)
+	if _, err := bw.Write(b); err != nil { // want "socket Write in WriteBuffered without a preceding SetWriteDeadline"
+		return err
+	}
+	return bw.Flush() // want "socket Flush in WriteBuffered without a preceding SetWriteDeadline"
+}
+
+// WriteBufferedBounded sets the deadline on the conn before using the
+// wrapper.
+func WriteBufferedBounded(nc net.Conn, b []byte) error {
+	bw := bufio.NewWriter(nc)
+	if err := nc.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := bw.Write(b); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// peer stashes its wrapped writer at construction — the field is
+// socket-backed everywhere, not just in the constructor.
+type peer struct {
+	nc net.Conn
+	bw *bufio.Writer
+}
+
+func newPeer(nc net.Conn) *peer {
+	return &peer{nc: nc, bw: bufio.NewWriterSize(nc, 1<<10)}
+}
+
+func (p *peer) send(b []byte) error {
+	if _, err := p.bw.Write(b); err != nil { // want "socket Write in send without a preceding SetWriteDeadline"
+		return err
+	}
+	return p.bw.Flush() // want "socket Flush in send without a preceding SetWriteDeadline"
+}
+
+func (p *peer) sendBounded(b []byte) error {
+	if err := p.nc.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := p.bw.Write(b); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// ReadUnchecked neither bounds the read nor propagates its error.
+func ReadUnchecked(nc net.Conn, b []byte) int {
+	n, _ := nc.Read(b) // want "socket Read in ReadUnchecked with neither a read deadline nor error-checked exit"
+	return n
+}
+
+// ReadChecked exits the loop on error: the demux shape.
+func ReadChecked(nc net.Conn, b []byte) int {
+	total := 0
+	for {
+		n, err := nc.Read(b)
+		if err != nil {
+			return total
+		}
+		total += n
+	}
+}
+
+// ReadDeadlined bounds the read instead.
+func ReadDeadlined(nc net.Conn, b []byte) int {
+	if err := nc.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0
+	}
+	n, _ := nc.Read(b)
+	return n
+}
+
+// readFrameLike is an audited helper: a socket-backed reader argument
+// makes its call sites read sites, and its own io.ReadFull calls are
+// error-checked within.
+func readFrameLike(br *bufio.Reader, b []byte) (int, error) {
+	if _, err := io.ReadFull(br, b[:1]); err != nil {
+		return 0, err
+	}
+	n, err := io.ReadFull(br, b[1:])
+	if err != nil {
+		return 0, err
+	}
+	return n + 1, nil
+}
+
+// DrainChecked calls the helper and checks its error.
+func DrainChecked(nc net.Conn, b []byte) int {
+	br := bufio.NewReader(nc)
+	total := 0
+	for {
+		n, err := readFrameLike(br, b)
+		if err != nil {
+			return total
+		}
+		total += n
+	}
+}
+
+// DrainUnchecked swallows the helper's error: the spin shape.
+func DrainUnchecked(nc net.Conn, b []byte) int {
+	br := bufio.NewReader(nc)
+	n, _ := readFrameLike(br, b) // want "socket readFrameLike in DrainUnchecked with neither a read deadline nor error-checked exit"
+	return n
+}

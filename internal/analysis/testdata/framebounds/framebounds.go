@@ -1,0 +1,67 @@
+// Package framebounds exercises frame-bounds: in a package declaring a
+// MaxFrame budget, byte-slice arithmetic and frame-sized allocation
+// must be dominated by a length check against a declared bound, or use
+// construction-safe offsets derived from the buffer itself.
+package framebounds
+
+import "encoding/binary"
+
+// MaxFrame puts this package in scope for the analyzer.
+const MaxFrame = 1 << 20
+
+const minBody = 9
+
+// AllocUnchecked turns a wire-supplied length straight into an
+// allocation.
+func AllocUnchecked(n uint32) []byte {
+	return make([]byte, n) // want "make with unvalidated length in AllocUnchecked"
+}
+
+// AllocChecked validates first.
+func AllocChecked(n uint32) []byte {
+	if n < minBody || n > MaxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// SliceUnchecked trusts a wire-supplied offset.
+func SliceUnchecked(b []byte, n int) []byte {
+	return b[:n] // want "unchecked frame-buffer slice in SliceUnchecked"
+}
+
+// SliceChecked guards the offset against the buffer.
+func SliceChecked(b []byte, n int) []byte {
+	if n < 0 || n > len(b) {
+		return nil
+	}
+	return b[:n]
+}
+
+// IndexUnchecked reads a wire-supplied position.
+func IndexUnchecked(b []byte, i int) byte {
+	return b[i] // want "unchecked frame-buffer index in IndexUnchecked"
+}
+
+// IndexChecked guards it.
+func IndexChecked(b []byte, i int) byte {
+	if i < 0 || i >= len(b) {
+		return 0
+	}
+	return b[i]
+}
+
+// PatchPrefix is the append-then-patch encoder shape: offsets derived
+// from len of the very buffer being written are construction-safe.
+func PatchPrefix(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
+// ArraySlices are compiler-bounded and exempt.
+func ArraySlices() []byte {
+	var prefix [4]byte
+	return prefix[:]
+}

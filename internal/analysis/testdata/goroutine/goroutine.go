@@ -1,0 +1,87 @@
+// Package goroutine exercises goroutine-lifecycle: every launch must
+// reach a shutdown edge (WaitGroup.Done, a channel operation, or a
+// close) somewhere on its call tree. Launch targets the engine cannot
+// resolve are findings too.
+package goroutine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var spins atomic.Int64
+
+// leakyWorker has no way to learn the process is done with it.
+func leakyWorker() {
+	for {
+		spins.Add(1)
+	}
+}
+
+// waitingWorker signs off through the WaitGroup.
+func waitingWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	spins.Add(1)
+}
+
+// drainingWorker observes shutdown by draining its channel.
+func drainingWorker(jobs chan int) {
+	for j := range jobs {
+		spins.Add(int64(j))
+	}
+}
+
+// nestedStop only reaches its shutdown edge through a helper — the
+// fact must propagate transitively.
+func nestedStop(done chan struct{}) {
+	for !checkDone(done) {
+		spins.Add(1)
+	}
+}
+
+func checkDone(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// pingPong reaches its edge through a mutually recursive SCC.
+func pingPong(done chan struct{}, n int) {
+	if n <= 0 {
+		return
+	}
+	pongPing(done, n-1)
+}
+
+func pongPing(done chan struct{}, n int) {
+	select {
+	case <-done:
+		return
+	default:
+	}
+	pingPong(done, n)
+}
+
+// Launch spawns one of each.
+func Launch(wg *sync.WaitGroup, jobs chan int, done chan struct{}, f func()) {
+	go leakyWorker() // want "goroutine leakyWorker has no shutdown edge on its call tree"
+	wg.Add(1)
+	go waitingWorker(wg)
+	go drainingWorker(jobs)
+	go nestedStop(done)
+	go pingPong(done, 3)
+	go func() { // want "goroutine has no shutdown edge on its call tree"
+		for {
+			spins.Add(1)
+		}
+	}()
+	go func() {
+		<-done
+	}()
+	go time.Sleep(time.Millisecond) // want "goroutine target is not a module function"
+	go f()                          // want "goroutine target is not a module function"
+}

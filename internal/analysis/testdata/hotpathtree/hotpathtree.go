@@ -1,0 +1,121 @@
+// Package hotpathtree exercises the transitive layer of the hotpath
+// analyzer and, through it, the call-graph engine: facts must flow
+// through plain call chains, through interface dispatch resolved by
+// implements-matching, and through a mutually recursive SCC; marked
+// callees are boundaries; meter trees keep the clock; sort.Search
+// callbacks are exempt.
+package hotpathtree
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+var sink uint64
+
+// ProbeTree is the dispatch case: the engine cannot know which
+// implementation a TreeGet call reaches, so it must assume all of them.
+type ProbeTree interface {
+	ProbeTree(key uint64) bool
+}
+
+type cleanImpl struct{ keys []uint64 }
+
+func (c *cleanImpl) ProbeTree(key uint64) bool {
+	for _, k := range c.keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+type dirtyImpl struct {
+	mu   sync.Mutex
+	keys map[uint64]bool
+}
+
+func (d *dirtyImpl) ProbeTree(key uint64) bool {
+	d.mu.Lock()         // want "sync.Mutex.Lock in dirtyImpl.ProbeTree, reached from hotpath TreeGet"
+	defer d.mu.Unlock() // want "defer in dirtyImpl.ProbeTree, reached from hotpath TreeGet" "sync.Mutex.Unlock in dirtyImpl.ProbeTree, reached from hotpath TreeGet"
+	return d.keys[key]
+}
+
+// TreeGet's own body is clean; the violations live two hops away.
+//
+//pieces:hotpath
+func TreeGet(p ProbeTree, key uint64) bool {
+	return probeVia(p, key)
+}
+
+func probeVia(p ProbeTree, key uint64) bool {
+	return p.ProbeTree(key)
+}
+
+// evenStep/oddStep form a mutually recursive SCC; the allocation in
+// oddStep must surface even though the root only calls evenStep.
+//
+//pieces:hotpath
+func Countdown(n int) int {
+	return evenStep(n, nil)
+}
+
+func evenStep(n int, acc []int) int {
+	if n <= 0 {
+		return len(acc)
+	}
+	return oddStep(n-1, acc)
+}
+
+func oddStep(n int, acc []int) int {
+	if n <= 0 {
+		return len(acc)
+	}
+	acc = append(acc, n) // want "append allocates in oddStep, reached from hotpath Countdown"
+	return evenStep(n-1, acc)
+}
+
+// InnerHot is a marked boundary: OuterHot trusts it, and its own call
+// tree is checked with InnerHot as the root.
+//
+//pieces:hotpath
+func InnerHot(key uint64) uint64 {
+	return dirtyLeaf(key)
+}
+
+func dirtyLeaf(key uint64) uint64 {
+	sink = uint64(time.Now().UnixNano()) // want "time.Now in dirtyLeaf, reached from hotpath InnerHot"
+	return key
+}
+
+//pieces:hotpath
+func OuterHot(key uint64) uint64 {
+	return InnerHot(key)
+}
+
+// MeterRoot's tree may read the clock (it is the meter); the make in
+// its helper is still forbidden.
+//
+//pieces:hotpath meter
+func MeterRoot() int64 {
+	return meterHelper()
+}
+
+func meterHelper() int64 {
+	scratch := make([]byte, 8) // want "make allocates in meterHelper, reached from hotpath MeterRoot"
+	_ = scratch
+	return time.Now().UnixNano()
+}
+
+// SearchRoot's helper hands a literal straight to sort.Search, which is
+// non-escaping: no finding.
+//
+//pieces:hotpath
+func SearchRoot(keys []uint64, key uint64) int {
+	return searchHelper(keys, key)
+}
+
+func searchHelper(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
+}

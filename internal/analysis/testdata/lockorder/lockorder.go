@@ -1,0 +1,105 @@
+// Package lockorder exercises lock-order: acquiring B while holding A
+// and, elsewhere, A while holding B is an ABBA cycle, whether the inner
+// acquisition is direct or buried down a call tree. A consistent
+// global order is clean, and releasing before the next acquisition
+// creates no edge.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+
+	stateA int
+	stateB int
+)
+
+// ABThenBA is half of the direct cycle...
+func ABThenBA() {
+	muA.Lock()
+	muB.Lock() // want "lock-order cycle among lockorder.muA, lockorder.muB"
+	stateB++
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// ...and BAThenAB is the other half.
+func BAThenAB() {
+	muB.Lock()
+	muA.Lock()
+	stateA++
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// The C/D cycle closes transitively: the inner acquisitions happen in
+// callees, so the edges come from the engine's lock sets.
+type boxC struct {
+	mu  sync.Mutex
+	val int
+}
+
+type boxD struct {
+	mu  sync.Mutex
+	val int
+}
+
+var (
+	cbox boxC
+	dbox boxD
+)
+
+func (c *boxC) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.val++
+}
+
+func (d *boxD) bump() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.val++
+}
+
+func holdCBumpD() {
+	cbox.mu.Lock()
+	defer cbox.mu.Unlock()
+	dbox.bump() // want "lock-order cycle among boxC.mu, boxD.mu"
+}
+
+func holdDBumpC() {
+	dbox.mu.Lock()
+	defer dbox.mu.Unlock()
+	cbox.bump()
+}
+
+// Consistent order everywhere: no finding.
+var (
+	muX sync.Mutex
+	muY sync.Mutex
+)
+
+func xy1() {
+	muX.Lock()
+	muY.Lock()
+	muY.Unlock()
+	muX.Unlock()
+}
+
+func xy2() {
+	muX.Lock()
+	defer muX.Unlock()
+	muY.Lock()
+	muY.Unlock()
+}
+
+// ReleasedBetween holds nothing when it takes muX: no edge from muY.
+func ReleasedBetween() {
+	muY.Lock()
+	stateB++
+	muY.Unlock()
+	muX.Lock()
+	stateA++
+	muX.Unlock()
+}

@@ -27,6 +27,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"learnedpieces/internal/wire"
 )
@@ -34,6 +35,12 @@ import (
 // ErrConnClosed fences requests after Close (or after a read-loop
 // failure tears the connection down).
 var ErrConnClosed = errors.New("client: connection closed")
+
+// defaultWriteTimeout bounds each framed request write. A stalled
+// server (or a peer that stopped reading while TCP backpressure filled
+// the kernel buffer) would otherwise block the writer under writeMu
+// forever, wedging every goroutine multiplexed onto the connection.
+const defaultWriteTimeout = 30 * time.Second
 
 // pending tracks one in-flight request: the op (which fixes the
 // response payload shape) and the channel the reader delivers on.
@@ -51,9 +58,10 @@ type result struct {
 type Conn struct {
 	nc net.Conn
 
-	writeMu sync.Mutex
-	bw      *bufio.Writer
-	wbuf    []byte
+	writeMu      sync.Mutex
+	bw           *bufio.Writer
+	wbuf         []byte
+	writeTimeout time.Duration
 
 	mu      sync.Mutex
 	waiters map[uint64]pending
@@ -79,10 +87,11 @@ func Dial(addr string) (*Conn, error) {
 // tests use in-memory pipes).
 func NewConn(nc net.Conn) *Conn {
 	c := &Conn{
-		nc:         nc,
-		bw:         bufio.NewWriterSize(nc, 64<<10),
-		waiters:    make(map[uint64]pending),
-		readerDone: make(chan struct{}),
+		nc:           nc,
+		bw:           bufio.NewWriterSize(nc, 64<<10),
+		waiters:      make(map[uint64]pending),
+		readerDone:   make(chan struct{}),
+		writeTimeout: defaultWriteTimeout,
 	}
 	go c.readLoop()
 	return c
@@ -196,7 +205,12 @@ func (c *Conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response,
 
 	c.writeMu.Lock()
 	c.wbuf = wire.AppendRequest(c.wbuf[:0], req)
-	_, werr := c.bw.Write(c.wbuf)
+	// Bound the write: with the peer stalled, an undeadlined write under
+	// writeMu would wedge every goroutine sharing this connection.
+	werr := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	if werr == nil {
+		_, werr = c.bw.Write(c.wbuf)
+	}
 	if werr == nil {
 		werr = c.bw.Flush()
 	}

@@ -338,15 +338,29 @@ type pathEntry struct {
 	slot int
 }
 
-func (ix *Index) descend(key uint64, path *[]pathEntry) *dataNode {
+// descend walks to the data node covering key without recording the
+// route — the read-path variant, free of path bookkeeping.
+func (ix *Index) descend(key uint64) *dataNode {
+	n := ix.root
+	for {
+		switch x := n.(type) {
+		case *innerNode:
+			n = x.children[x.childSlot(key)]
+		case *dataNode:
+			return x
+		}
+	}
+}
+
+// descendPath is descend for mutators: it appends the visited inner
+// nodes and slots to path for split handling.
+func (ix *Index) descendPath(key uint64, path *[]pathEntry) *dataNode {
 	n := ix.root
 	for {
 		switch x := n.(type) {
 		case *innerNode:
 			s := x.childSlot(key)
-			if path != nil {
-				*path = append(*path, pathEntry{x, s})
-			}
+			*path = append(*path, pathEntry{x, s})
 			n = x.children[s]
 		case *dataNode:
 			return x
@@ -356,7 +370,7 @@ func (ix *Index) descend(key uint64, path *[]pathEntry) *dataNode {
 
 // Get returns the value stored under key.
 func (ix *Index) Get(key uint64) (uint64, bool) {
-	d := ix.descend(key, nil)
+	d := ix.descend(key)
 	slot, ok := d.g.SlotOf(key)
 	if !ok {
 		return 0, false
@@ -417,7 +431,7 @@ func (ix *Index) Insert(key, value uint64) error {
 	ix.installDeposits()
 	for {
 		var path []pathEntry
-		d := ix.descend(key, &path)
+		d := ix.descendPath(key, &path)
 		if slot, ok := d.g.SlotOf(key); ok {
 			d.g.Values[slot] = value
 			ix.logOp(d, key, value, false)
@@ -673,7 +687,7 @@ func relinkTail(tail, next *dataNode) {
 // deletes are reused by later inserts).
 func (ix *Index) Delete(key uint64) bool {
 	ix.installDeposits()
-	d := ix.descend(key, nil)
+	d := ix.descend(key)
 	slot, ok := d.g.SlotOf(key)
 	if !ok {
 		return false
@@ -687,7 +701,7 @@ func (ix *Index) Delete(key uint64) bool {
 // Scan visits entries with key >= start in ascending order via the data
 // node chain.
 func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
-	d := ix.descend(start, nil)
+	d := ix.descend(start)
 	// The model may land us one node ahead of the true successor chain
 	// position; back up while the previous node could contain >= start.
 	for d.prev != nil && lastKey(d.prev) >= start {

@@ -392,10 +392,13 @@ func (c *body) bytes(n int) ([]byte, error) {
 	return v, nil
 }
 
-// rest returns everything not yet consumed.
+// rest returns everything not yet consumed, through the same checked
+// cursor path as every other read.
 func (c *body) rest() []byte {
-	v := c.b[c.pos:len(c.b):len(c.b)]
-	c.pos = len(c.b)
+	v, err := c.bytes(c.remaining())
+	if err != nil {
+		return nil // unreachable: remaining() is in bounds by definition
+	}
 	return v
 }
 
