@@ -1,0 +1,435 @@
+// hotkeys.go is the data plane of the adapt package: a key-frequency
+// sketch fed from the store's Get hot path, and the bounded hot-key
+// shadow cache the controller switches on when the sketch detects zipf
+// skew. Both sides are allocation-free and atomic-only on the hot path;
+// everything that allocates (promotion, top-k extraction, decay) runs
+// on the controller's goroutine.
+package adapt
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+const (
+	// sketchSlots is the SPACE-SAVING-style candidate set size. 64 hot
+	// candidates is far more than any zipf parameter we generate needs
+	// (s=0.99 puts >25% of mass on the top 64 keys) while keeping the
+	// top-k extraction trivially cheap.
+	sketchSlots = 64
+	// sampleShift: one in 2^sampleShift observed Gets updates the
+	// sketch. At 1/32 the sketch costs two striped atomic ops per 32
+	// Gets — far inside the telemetry budget (Get latency sampling is
+	// already 1/64 with two clock reads, which cost more).
+	sampleShift = 5
+	// tickStripes spreads the sampling tick counters so concurrent
+	// readers do not contend on one cache line.
+	tickStripes = 16
+	// defaultCacheSlots bounds the shadow cache. Direct-mapped: one
+	// atomic pointer per slot, 4096 slots = 32 KiB of pointers — enough
+	// to hold every key the sketch can nominate many times over, small
+	// enough to stay cache-resident.
+	defaultCacheSlots = 4096
+)
+
+// padCounter is a cache-line-isolated counter for the striped sampling
+// ticks (same layout as the epoch read stats).
+type padCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// sketchSlot is one SPACE-SAVING candidate: a key and its (sampled,
+// decayed) frequency estimate. Plain interleaved layout — the slots are
+// only touched by 1-in-32 sampled Gets, so false sharing between
+// neighbours is noise.
+type sketchSlot struct {
+	key atomic.Uint64
+	cnt atomic.Int64
+}
+
+// cacheSlot is one shadow-cache mapping: key -> record offset, tagged
+// with the cache generation it was published under, guarded by a
+// seqlock so the hot paths can mutate it in place without allocating.
+// seq is even when the slot is stable and odd while a publisher is
+// mid-write; readers re-check seq after loading the fields. gen == 0 is
+// the invalid sentinel (the cache generation starts at 1 and only
+// grows), so invalidation is a field store, not a slot swap.
+type cacheSlot struct {
+	seq atomic.Uint64
+	key atomic.Uint64
+	off atomic.Uint64
+	gen atomic.Uint64
+}
+
+// slotTries bounds seqlock acquisition on the mutating paths. Failing
+// to acquire means a concurrent publisher owns the slot; every caller
+// has a safe give-up story (see Invalidate/Refresh/Promote), so a tiny
+// bound keeps the hot paths wait-free.
+const slotTries = 4
+
+// HotKeys is the hot-key sampler and shadow cache. One instance fronts
+// one store:
+//
+//   - Observe feeds the frequency sketch from the Get hot path
+//     (sampled, striped, atomic-only).
+//   - Lookup consults the shadow cache when the controller has enabled
+//     it; a hit returns the record offset and skips the index walk
+//     entirely.
+//   - Refresh / Invalidate / InvalidateAll keep the cache coherent with
+//     writes: a single-writer store refreshes a key's entry in place
+//     with the new offset after its index update (the log-structured
+//     write path knows the offset it just published, so a hot key's
+//     entry survives updates instead of dying on every overwrite),
+//     Delete invalidates, and the generation is bumped wholesale when
+//     record offsets are rewritten (compact, bulk load, recovery,
+//     index drop).
+//
+// Epoch safety of cached offsets is inherited from the store: Get holds
+// an epoch guard across the cache lookup and the record read, and the
+// paths that retire pages (Compact) bump the generation before the
+// retire, so any reader still using an old offset holds a pin that
+// predates the page frees.
+type HotKeys struct {
+	ticks [tickStripes]padCounter
+	slots [sketchSlots]sketchSlot
+	// sampled counts sketch updates (the denominator for skew share).
+	sampled atomic.Int64
+
+	entries []cacheSlot
+	mask    uint64
+	gen     atomic.Uint64
+	enabled atomic.Bool
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	promos    atomic.Int64
+	invals    atomic.Int64
+	refreshes atomic.Int64
+}
+
+// NewHotKeys returns a sampler with a shadow cache of cacheSlots
+// entries (rounded up to a power of two; <= 0 picks the default).
+func NewHotKeys(cacheSlots int) *HotKeys {
+	if cacheSlots <= 0 {
+		cacheSlots = defaultCacheSlots
+	}
+	n := 1
+	for n < cacheSlots {
+		n <<= 1
+	}
+	h := &HotKeys{entries: make([]cacheSlot, n), mask: uint64(n - 1)}
+	h.gen.Store(1)
+	return h
+}
+
+// mix is the finalizer from splitmix64: full-avalanche, so sequential
+// keys spread across stripes and cache slots.
+//
+//pieces:hotpath
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Observe feeds one Get into the frequency sketch. Sampled 1-in-2^5 via
+// a striped tick counter; the sampled update is the SPACE-SAVING step:
+// a slot already holding the key is incremented, otherwise the weakest
+// slot is decremented and taken over when its estimate hits zero.
+// Nil-safe, atomic-only, allocation-free.
+//
+//pieces:hotpath
+func (h *HotKeys) Observe(key uint64) {
+	if h == nil {
+		return
+	}
+	hv := mix(key)
+	t := h.ticks[hv&(tickStripes-1)].v.Add(1)
+	if t&(1<<sampleShift-1) != 0 {
+		return
+	}
+	h.sampled.Add(1)
+	// Pass 1: increment an existing candidate.
+	weakest, weakCnt := 0, int64(1<<62)
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.key.Load() == key {
+			s.cnt.Add(1)
+			return
+		}
+		if c := s.cnt.Load(); c < weakCnt {
+			weakest, weakCnt = i, c
+		}
+	}
+	// Pass 2: charge the weakest candidate; take the slot over when its
+	// estimate is exhausted. Races here lose at most one sampled count —
+	// the sketch is approximate by design.
+	s := &h.slots[weakest]
+	if s.cnt.Add(-1) <= 0 {
+		s.key.Store(key)
+		s.cnt.Store(1)
+	}
+}
+
+// Lookup consults the shadow cache. A hit returns the record offset the
+// key was published with. Misses (cache disabled, slot invalid, wrong
+// key, stale generation, publisher mid-write) return ok=false and the
+// caller walks the index. Nil-safe, atomic-only, allocation-free.
+//
+//pieces:hotpath
+func (h *HotKeys) Lookup(key uint64) (uint64, bool) {
+	if h == nil || !h.enabled.Load() {
+		return 0, false
+	}
+	s := &h.entries[mix(key)&h.mask]
+	s1 := s.seq.Load()
+	if s1&1 != 0 {
+		h.misses.Add(1)
+		return 0, false
+	}
+	k, off, gen := s.key.Load(), s.off.Load(), s.gen.Load()
+	if s.seq.Load() != s1 || k != key || gen == 0 || gen != h.gen.Load() {
+		h.misses.Add(1)
+		return 0, false
+	}
+	h.hits.Add(1)
+	return off, true
+}
+
+// acquire claims the slot's seqlock, returning the odd sequence to
+// release with, or 0 when a concurrent publisher held it for all
+// slotTries attempts (the caller gives up — each mutator has a safe
+// give-up story).
+//
+//pieces:hotpath
+func (h *HotKeys) acquire(s *cacheSlot) uint64 {
+	for i := 0; i < slotTries; i++ {
+		s1 := s.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		if s.seq.CompareAndSwap(s1, s1+1) {
+			return s1 + 1
+		}
+	}
+	return 0
+}
+
+// Invalidate removes the key's cache entry if present. The store calls
+// it after the index update of a Delete (and of Puts on stores with
+// concurrent writers, where in-place refresh could reorder), so any Get
+// issued after the write returns cannot see the displaced offset.
+// Giving up under contention is safe: the only concurrent publisher is
+// a promoter, and PromoteHot re-probes the index after publishing, so a
+// stale entry it raced in is invalidated by its own re-check. Nil-safe,
+// atomic-only, allocation-free.
+//
+//pieces:hotpath
+func (h *HotKeys) Invalidate(key uint64) {
+	if h == nil {
+		return
+	}
+	s := &h.entries[mix(key)&h.mask]
+	if s.key.Load() != key || s.gen.Load() == 0 {
+		return
+	}
+	seq := h.acquire(s)
+	if seq == 0 {
+		return
+	}
+	if s.key.Load() == key {
+		s.gen.Store(0)
+		h.invals.Add(1)
+	}
+	s.seq.Store(seq + 1)
+}
+
+// Refresh updates the key's cache entry in place with a new record
+// offset — the write-through half of coherence on single-writer
+// stores: Put appends the record, updates the index, then refreshes the
+// cache with the offset it just published, so a hot key's entry
+// survives the update instead of dying on every overwrite. Keys without
+// an entry are left alone (what is cached stays the controller's
+// promotion decision). Giving up under contention is safe for the same
+// reason as Invalidate: the only concurrent publisher is a promoter,
+// whose post-publish re-probe runs after our index update and kills
+// anything stale it raced in. Must NOT be used when writers run
+// concurrently (two racing refreshes of one key could commit out of
+// index order); those stores invalidate instead. Nil-safe, atomic-only,
+// allocation-free.
+//
+//pieces:hotpath
+func (h *HotKeys) Refresh(key, off uint64) {
+	if h == nil {
+		return
+	}
+	s := &h.entries[mix(key)&h.mask]
+	if s.key.Load() != key {
+		return
+	}
+	seq := h.acquire(s)
+	if seq == 0 {
+		return
+	}
+	if s.key.Load() == key {
+		s.off.Store(off)
+		s.gen.Store(h.gen.Load())
+		h.refreshes.Add(1)
+	}
+	s.seq.Store(seq + 1)
+}
+
+// InvalidateAll retires every cached entry at once by bumping the cache
+// generation — the store calls it when record offsets are rewritten
+// wholesale (compaction, bulk load, recovery, index drop). O(1); stale
+// entries fail their generation check and are revalidated only by a
+// later promotion or write-through refresh, both of which carry
+// post-rewrite offsets.
+func (h *HotKeys) InvalidateAll() {
+	if h == nil {
+		return
+	}
+	h.gen.Add(1)
+	h.invals.Add(1)
+}
+
+// SetEnabled switches the shadow cache on or off. Off is the safe
+// default: Observe keeps sketching either way, so the controller can
+// detect skew before paying for the cache.
+func (h *HotKeys) SetEnabled(on bool) {
+	if h == nil {
+		return
+	}
+	h.enabled.Store(on)
+}
+
+// Enabled reports whether Lookup currently serves hits.
+func (h *HotKeys) Enabled() bool { return h != nil && h.enabled.Load() }
+
+// Promote publishes key -> off in the shadow cache under the current
+// generation, taking the slot over from whatever it held. The caller is
+// responsible for the promote/write race: re-check the index after
+// publishing and Invalidate on mismatch (see viper.Store.PromoteHot).
+// Giving up under contention (another promoter owns the slot) just
+// skips this round's promotion.
+func (h *HotKeys) Promote(key, off uint64) {
+	if h == nil {
+		return
+	}
+	s := &h.entries[mix(key)&h.mask]
+	seq := h.acquire(s)
+	if seq == 0 {
+		return
+	}
+	s.key.Store(key)
+	s.off.Store(off)
+	s.gen.Store(h.gen.Load())
+	s.seq.Store(seq + 1)
+	h.promos.Add(1)
+}
+
+// TopKeys returns the sketch's current candidates ordered by estimated
+// frequency, at most k of them, skipping empty slots. Controller-side
+// (allocates).
+func (h *HotKeys) TopKeys(k int) []uint64 {
+	if h == nil || k <= 0 {
+		return nil
+	}
+	type cand struct {
+		key uint64
+		cnt int64
+	}
+	cands := make([]cand, 0, sketchSlots)
+	for i := range h.slots {
+		c := h.slots[i].cnt.Load()
+		if c <= 0 {
+			continue
+		}
+		cands = append(cands, cand{h.slots[i].key.Load(), c})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cnt > cands[j].cnt })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	keys := make([]uint64, len(cands))
+	for i, c := range cands {
+		keys[i] = c.key
+	}
+	return keys
+}
+
+// SkewShare estimates the fraction of sampled Gets that hit the top-k
+// sketch candidates — the controller's zipf detector. Uniform traffic
+// over a keyspace much larger than the sketch keeps the share near
+// zero (SPACE-SAVING candidates churn, estimates stay at 1); zipf
+// traffic concentrates counts on stable candidates and pushes the
+// share toward the true top-k mass.
+func (h *HotKeys) SkewShare(k int) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.sampled.Load()
+	if total <= 0 {
+		return 0
+	}
+	cnts := make([]int64, 0, sketchSlots)
+	for i := range h.slots {
+		if c := h.slots[i].cnt.Load(); c > 0 {
+			cnts = append(cnts, c)
+		}
+	}
+	sort.Slice(cnts, func(i, j int) bool { return cnts[i] > cnts[j] })
+	if len(cnts) > k {
+		cnts = cnts[:k]
+	}
+	var top int64
+	for _, c := range cnts {
+		top += c
+	}
+	return float64(top) / float64(total)
+}
+
+// Decay halves every sketch estimate and the sampled denominator so the
+// skew signal tracks the current phase instead of the whole run. The
+// controller calls it once per tick after reading SkewShare.
+func (h *HotKeys) Decay() {
+	if h == nil {
+		return
+	}
+	for i := range h.slots {
+		c := &h.slots[i].cnt
+		c.Store(c.Load() / 2)
+	}
+	h.sampled.Store(h.sampled.Load() / 2)
+}
+
+// CacheStats is a point-in-time digest of the shadow cache.
+type CacheStats struct {
+	Enabled       bool
+	Hits          int64
+	Misses        int64
+	Promotions    int64
+	Refreshes     int64
+	Invalidations int64
+	Sampled       int64
+}
+
+// Stats returns the cache counters. Nil-safe.
+func (h *HotKeys) Stats() CacheStats {
+	if h == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Enabled:       h.enabled.Load(),
+		Hits:          h.hits.Load(),
+		Misses:        h.misses.Load(),
+		Promotions:    h.promos.Load(),
+		Refreshes:     h.refreshes.Load(),
+		Invalidations: h.invals.Load(),
+		Sampled:       h.sampled.Load(),
+	}
+}

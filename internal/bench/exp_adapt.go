@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"learnedpieces/internal/adapt"
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+	"learnedpieces/internal/learned/rebuild"
+	"learnedpieces/internal/learned/rmi"
+	"learnedpieces/internal/search"
+	"learnedpieces/internal/stats"
+	"learnedpieces/internal/telemetry"
+	"learnedpieces/internal/viper"
+	"learnedpieces/internal/workload"
+)
+
+// adaptChunk is how many operations run between controller ticks (and
+// static-skew promotions). The driver paces the controller off the op
+// stream rather than wall-clock so runs are deterministic: a phase of
+// cfg.Ops operations always gives the controller the same number of
+// sampling windows, fast machine or slow CI runner alike.
+const adaptChunk = 2048
+
+// adaptPhases are the workload phases of the adapt experiment, in the
+// order they run: uniform read-heavy, then insert-heavy, then
+// zipf-skewed reads with 5% updates.
+var adaptPhases = [3]string{"read", "insert", "skew"}
+
+// adaptIndex builds the experiment's index: the delta-buffer rebuild
+// wrapper over RMI — it adopts AsyncRetrainer (so the retrain-mode knob
+// has something to route) and RetrainTuner (so the threshold knob has
+// something to tune). The second stage is deliberately sparse (64
+// leaves over the full keyspace, the paper's large-error-bound regime):
+// wide error windows make the last-mile search a real cost, which is
+// what gives the search-policy knob and the hot-key shadow cache
+// something to win — with per-256-key leaves the walk is already so
+// cheap that no knob setting is distinguishable from another.
+func adaptIndex() index.Index {
+	return rebuild.New("rmi-delta", rebuild.Config{Threshold: 4096},
+		func() rebuild.Inner { return rmi.New(rmi.Config{NumLeaves: 64}) })
+}
+
+// adaptValue encodes the key and a write version into the record
+// payload: bytes [0,8) are the key, [8,16) the version. Every read in
+// the driver decodes and checks both, which is the experiment's
+// staleness detector — a shadow-cache hit serving a displaced offset
+// returns either another key's payload or an out-of-date version, and
+// both are caught on the spot.
+func adaptValue(buf []byte, key, ver uint64) []byte {
+	binary.LittleEndian.PutUint64(buf[0:8], key)
+	binary.LittleEndian.PutUint64(buf[8:16], ver)
+	return buf
+}
+
+// skewStream builds the zipf-skewed phase: reads whose keys follow a
+// Zipf(s=1.5) rank distribution scrambled over the loaded key set —
+// strong enough skew that the top-16 keys carry well over half the
+// requests, which is what the sketch must detect — plus a 5% update
+// stream drawn uniformly (the YCSB-D shape: concentrated reads,
+// dispersed writes). Uniform updates still land on cached keys often
+// enough to exercise the write-through refresh, without pinning the
+// whole hot set in the delta buffer the way zipf-correlated updates
+// would.
+func skewStream(loaded []uint64, n int, seed int64) []workload.Op {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.5, 1, uint64(len(loaded)-1))
+	ops := make([]workload.Op, n)
+	for i := range ops {
+		if rng.Float64() < 0.05 {
+			k := loaded[rng.Intn(len(loaded))]
+			ops[i] = workload.Op{Kind: workload.OpUpdate, Key: k}
+			continue
+		}
+		idx := (z.Uint64() * 0x9E3779B97F4A7C15) % uint64(len(loaded))
+		ops[i] = workload.Op{Kind: workload.OpRead, Key: loaded[idx]}
+	}
+	return ops
+}
+
+// adaptResult is one configuration's outcome: per-phase throughput plus
+// the correctness counters the experiment asserts on.
+type adaptResult struct {
+	mops       [3]float64
+	mismatches int64 // reads whose payload key/version was wrong (staleness)
+	lost       int64 // reads of present keys that missed
+	probe      telemetry.AdaptSnapshot
+	cache      adapt.CacheStats
+}
+
+// runAdaptConfig drives the three phases through one store
+// configuration. hook runs between op chunks (controller tick or static
+// promotion); versions carries the per-key write version the value
+// checks verify against.
+func runAdaptConfig(cfg Config, name string, setup func(s *viper.Store, hk *adapt.HotKeys, sink *telemetry.Sink) (hook func(), probe func() telemetry.AdaptSnapshot),
+	withCache bool, rmode viper.RetrainMode) (adaptResult, error) {
+	var res adaptResult
+	vsize := cfg.ValueSize
+	if vsize < 16 {
+		vsize = 16
+	}
+
+	all := dataset.Generate(dataset.YCSBNormal, 2*cfg.N, cfg.Seed)
+	load := make([]uint64, 0, cfg.N)
+	inserts := make([]uint64, 0, cfg.N)
+	for i, k := range all {
+		if i%2 == 0 {
+			load = append(load, k)
+		} else {
+			inserts = append(inserts, k)
+		}
+	}
+
+	sink := telemetry.New()
+	opts := []viper.Option{
+		viper.WithValueSize(vsize),
+		viper.WithTelemetry(sink),
+		viper.WithRetrainMode(rmode),
+	}
+	hk := adapt.NewHotKeys(0)
+	if withCache {
+		opts = append(opts, viper.WithHotKeys(hk))
+	}
+	s := viper.Open(cfg.regionFor(2*cfg.N), adaptIndex(), opts...)
+	defer func() { _ = s.Close() }()
+
+	// Load with per-key payloads (BulkPut shares one value across keys,
+	// which would blind the staleness detector).
+	vbuf := make([]byte, vsize)
+	for _, k := range load {
+		if err := s.Put(k, adaptValue(vbuf, k, 0)); err != nil {
+			return res, fmt.Errorf("%s load: %w", name, err)
+		}
+	}
+	s.DrainRetrains()
+
+	hook, probe := setup(s, hk, sink)
+	versions := make(map[uint64]uint64, cfg.N/16)
+
+	phases := [3][]workload.Op{
+		workload.ReadStream(load, cfg.Ops, cfg.Seed+11),
+		workload.InsertStream(inserts, cfg.Seed+12),
+		skewStream(load, cfg.Ops, cfg.Seed+13),
+	}
+	for pi, ops := range phases {
+		runtime.GC()
+		// Only the op chunks are timed. The hook between chunks is the
+		// controller tick (or static promotion), which in production runs
+		// on its own goroutine off the request path (vipersrv -adapt);
+		// the harness ticks inline purely so phase flips are
+		// deterministic, and timing that inline stand-in would charge the
+		// data plane for decision-plane work it never pays.
+		var opNs int64
+		for lo := 0; lo < len(ops); lo += adaptChunk {
+			hi := lo + adaptChunk
+			if hi > len(ops) {
+				hi = len(ops)
+			}
+			t0 := time.Now()
+			for _, op := range ops[lo:hi] {
+				switch op.Kind {
+				case workload.OpRead:
+					v, ok := s.Get(op.Key)
+					if !ok {
+						res.lost++
+						continue
+					}
+					if binary.LittleEndian.Uint64(v[0:8]) != op.Key ||
+						binary.LittleEndian.Uint64(v[8:16]) != versions[op.Key] {
+						res.mismatches++
+					}
+				case workload.OpUpdate:
+					ver := versions[op.Key] + 1
+					if err := s.Put(op.Key, adaptValue(vbuf, op.Key, ver)); err != nil {
+						return res, fmt.Errorf("%s update: %w", name, err)
+					}
+					versions[op.Key] = ver
+				case workload.OpInsert:
+					if err := s.Put(op.Key, adaptValue(vbuf, op.Key, 0)); err != nil {
+						return res, fmt.Errorf("%s insert: %w", name, err)
+					}
+				}
+			}
+			opNs += time.Since(t0).Nanoseconds()
+			if hook != nil {
+				hook()
+			}
+		}
+		res.mops[pi] = float64(len(ops)) / (float64(opNs) / 1e9) / 1e6
+	}
+	if probe != nil {
+		res.probe = probe()
+	}
+	res.cache = hk.Stats()
+	return res, nil
+}
+
+// RunAdapt measures what the closed-loop controller buys on a workload
+// that changes shape mid-run: a read-heavy phase, an insert-heavy
+// phase, then a zipf-skewed phase, driven through one store per
+// configuration. The static rows pin the knobs a phase specialist would
+// pick; the adaptive row lets the controller reclassify and flip knobs
+// (search policy, retrain routing and threshold, hot-key shadow cache)
+// as the phases roll through. Every read verifies its payload's key and
+// write version, so a stale shadow-cache hit is a counted failure, not
+// a silent wrong answer. The run fails unless the controller actually
+// flipped knobs and every configuration finished with zero lost ops and
+// zero stale reads.
+func RunAdapt(cfg Config) error {
+	restore := search.CurrentPolicy()
+	defer search.SetPolicy(restore)
+
+	staticSetup := func(policy search.Policy, threshold int, cacheOn bool) func(*viper.Store, *adapt.HotKeys, *telemetry.Sink) (func(), func() telemetry.AdaptSnapshot) {
+		return func(s *viper.Store, hk *adapt.HotKeys, _ *telemetry.Sink) (func(), func() telemetry.AdaptSnapshot) {
+			search.SetPolicy(policy)
+			s.SetRetrainThreshold(threshold)
+			if !cacheOn {
+				return nil, nil
+			}
+			hk.SetEnabled(true)
+			// Promote every chunk and age the sketch on the controller's
+			// cadence: without decay the uniform read phase's churn noise
+			// accumulates enough count mass to crowd mid-rank hot keys out
+			// of the top-16 for most of the skewed phase.
+			tick := 0
+			return func() {
+				s.PromoteHot(hk.TopKeys(16))
+				if tick++; tick%4 == 0 {
+					hk.Decay()
+				}
+			}, nil
+		}
+	}
+
+	type adaptRow struct {
+		name      string
+		setup     func(*viper.Store, *adapt.HotKeys, *telemetry.Sink) (func(), func() telemetry.AdaptSnapshot)
+		withCache bool
+		rmode     viper.RetrainMode
+	}
+	rows := []adaptRow{
+		// Read specialist: sync retrain (no install lag for readers),
+		// small rebuild threshold, no cache.
+		{"static-read", staticSetup(search.PolicyAuto, 512, false), false, viper.RetrainSync},
+		// Insert specialist: background retrains, large delta buffer.
+		{"static-insert", staticSetup(search.PolicyAuto, 8192, false), false, viper.RetrainAsync},
+		// Skew specialist: the insert posture plus the hot-key cache,
+		// promoted from the sketch every chunk. Identical to
+		// static-insert in every other knob, so the skew column's
+		// static-skew vs static-insert gap isolates what the shadow
+		// cache itself buys on zipf traffic.
+		{"static-skew", staticSetup(search.PolicyAuto, 8192, true), true, viper.RetrainAsync},
+		{"adaptive", func(s *viper.Store, hk *adapt.HotKeys, sink *telemetry.Sink) (func(), func() telemetry.AdaptSnapshot) {
+			ctrl := adapt.NewController(adapt.Config{
+				Snapshot: sink.Snapshot,
+				Hot:      hk,
+				Knobs: adapt.Knobs{
+					SearchPolicy: search.SetPolicy,
+					RetrainAsync: func(on bool) {
+						if on {
+							s.SetRetrainMode(viper.RetrainAsync)
+						} else {
+							s.SetRetrainMode(viper.RetrainSync)
+						}
+					},
+					RetrainThreshold: func(n int) { s.SetRetrainThreshold(n) },
+					BatchFloor:       s.SetBatchFloor,
+					CacheEnable:      hk.SetEnabled,
+					Promote:          func(keys []uint64) { s.PromoteHot(keys) },
+				},
+			})
+			ctrl.Tick() // prime the baseline snapshot
+			return func() { ctrl.Tick() }, ctrl.Probe
+		}, true, viper.RetrainAsync},
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Extension: closed-loop adaptation, phase-changing workload (n=%d, ops/phase=%d)", cfg.N, cfg.Ops),
+		"config",
+		adaptPhases[0]+" Mops/s", adaptPhases[1]+" Mops/s", adaptPhases[2]+" Mops/s",
+		"flips", "phase changes", "cache hit rate", "stale reads", "lost ops")
+	var adaptive adaptResult
+	for _, r := range rows {
+		res, err := runAdaptConfig(cfg, r.name, r.setup, r.withCache, r.rmode)
+		if err != nil {
+			return err
+		}
+		if r.name == "adaptive" {
+			adaptive = res
+		}
+		flips, changes, hitRate := "-", "-", "-"
+		if r.name == "adaptive" {
+			flips = fmt.Sprintf("%d", res.probe.Flips)
+			changes = fmt.Sprintf("%d", res.probe.PhaseChanges)
+		}
+		if lookups := res.cache.Hits + res.cache.Misses; lookups > 0 {
+			hitRate = fmt.Sprintf("%.3f", float64(res.cache.Hits)/float64(lookups))
+		}
+		t.AddRow(r.name,
+			fmt.Sprintf("%.3f", res.mops[0]),
+			fmt.Sprintf("%.3f", res.mops[1]),
+			fmt.Sprintf("%.3f", res.mops[2]),
+			flips, changes, hitRate, res.mismatches, res.lost)
+		if res.mismatches != 0 {
+			return fmt.Errorf("adapt: %s served %d stale reads", r.name, res.mismatches)
+		}
+		if res.lost != 0 {
+			return fmt.Errorf("adapt: %s lost %d ops", r.name, res.lost)
+		}
+		// The session policy is restored at return; between rows each
+		// setup pins its own.
+	}
+	cfg.render(t)
+	if adaptive.probe.Flips < 1 {
+		return fmt.Errorf("adapt: controller committed no knob flips (phase detection broken)")
+	}
+	if adaptive.probe.PhaseChanges < 1 {
+		return fmt.Errorf("adapt: controller committed no phase changes")
+	}
+	return nil
+}

@@ -326,6 +326,17 @@ func (c *Conn) Drain(ctx context.Context) error {
 	return err
 }
 
+// SetCoalesce toggles the server's read coalescer at runtime. Servers
+// configured without a coalescer refuse with StatusUnsupported.
+func (c *Conn) SetCoalesce(ctx context.Context, on bool) error {
+	var key uint64
+	if on {
+		key = 1
+	}
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpCoalesce, Key: key})
+	return err
+}
+
 // Pool is a fixed set of connections used round-robin. Safe for
 // concurrent use; methods delegate to the next connection.
 type Pool struct {

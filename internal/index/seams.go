@@ -17,6 +17,7 @@ type Seam struct {
 	Bulk         Bulk
 	Batch        BatchGetter
 	AsyncRetrain AsyncRetrainer
+	Tune         RetrainTuner
 }
 
 // Seams resolves idx's hot-path dispatch surface. This is the one
@@ -30,6 +31,7 @@ func Seams(idx Index) Seam {
 	s.Bulk, _ = idx.(Bulk)
 	s.Batch, _ = idx.(BatchGetter)
 	s.AsyncRetrain, _ = idx.(AsyncRetrainer)
+	s.Tune, _ = idx.(RetrainTuner)
 	return s
 }
 

@@ -29,6 +29,8 @@
 // is the part the learned index already paid for.
 package search
 
+import "sync/atomic"
+
 // Policy selects which kernel family the exported entry points
 // dispatch to. It exists for experiments (libench -searchkernel): the
 // paper's approximation-algorithm dimension asks how the last-mile
@@ -72,18 +74,20 @@ func ParsePolicy(s string) (Policy, bool) {
 	return PolicyAuto, false
 }
 
-// policy is the process-wide kernel selection. It is written once at
-// startup (SetPolicy from flag parsing) before any concurrent searches
-// run, and only read afterwards — the same set-then-run contract as the
-// telemetry sampling rates.
-var policy Policy
+// policy is the process-wide kernel selection. It used to be a plain
+// variable under a set-then-run contract (written once at startup); the
+// adapt controller now flips it under live readers, so both sides go
+// through atomics. A search reads it exactly once per entry point — one
+// relaxed-cost atomic load, invisible next to the probe loop it gates.
+var policy atomic.Uint32
 
-// SetPolicy installs the process-wide kernel selection. Call it during
-// startup, before the store serves concurrent lookups.
-func SetPolicy(p Policy) { policy = p }
+// SetPolicy installs the process-wide kernel selection. Safe to call at
+// any time, including while concurrent searches run: in-flight calls
+// finish on the kernel they already chose, later calls see the new one.
+func SetPolicy(p Policy) { policy.Store(uint32(p)) }
 
 // CurrentPolicy reports the process-wide kernel selection.
-func CurrentPolicy() Policy { return policy }
+func CurrentPolicy() Policy { return Policy(policy.Load()) }
 
 const (
 	// linearCutoff is the window width at or below which PolicyAuto
@@ -126,7 +130,7 @@ func LowerBound(keys []uint64, key uint64, lo, hi int) int {
 		probes int32
 		k      Kernel
 	)
-	switch policy {
+	switch Policy(policy.Load()) {
 	case PolicyBinary:
 		i, probes = lowerClassic(keys, key, lo, hi)
 		k = KernelBinary

@@ -3,6 +3,8 @@ package search
 import (
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -305,4 +307,52 @@ func FuzzLowerBound(f *testing.F) {
 			t.Fatalf("batch Pos = %d, oracle %d", b.Pos(0), want)
 		}
 	})
+}
+
+// TestSetPolicyConcurrentWithSearches flips the process-wide policy
+// while readers search — the adapt controller does exactly this against
+// live traffic. Every result must stay correct under every
+// interleaving, and -race checks the policy cell's memory model.
+func TestSetPolicyConcurrentWithSearches(t *testing.T) {
+	old := CurrentPolicy()
+	defer SetPolicy(old)
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i)*3 + 1
+	}
+
+	var flip, readers sync.WaitGroup
+	var done atomic.Bool
+	flip.Add(1)
+	go func() {
+		defer flip.Done()
+		policies := []Policy{PolicyAuto, PolicyBinary, PolicyBranchless, PolicyInterp}
+		for i := 0; !done.Load(); i++ {
+			SetPolicy(policies[i%len(policies)])
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50_000; i++ {
+				q := uint64(rng.Intn(3 * len(keys)))
+				want := oracle(keys, q, 0, len(keys))
+				if got := LowerBound(keys, q, 0, len(keys)); got != want {
+					t.Errorf("LowerBound(%d) = %d, want %d (mid-flip)", q, got, want)
+					return
+				}
+				j, ok := Find(keys, q)
+				wantOK := want < len(keys) && keys[want] == q
+				if j != want || ok != wantOK {
+					t.Errorf("Find(%d) = (%d,%v), want (%d,%v) (mid-flip)", q, j, ok, want, wantOK)
+					return
+				}
+			}
+		}(int64(r + 1))
+	}
+	readers.Wait()
+	done.Store(true)
+	flip.Wait()
 }

@@ -169,6 +169,15 @@ type Server struct {
 	readsExclusive bool
 	statsSource    func() []byte
 
+	// coalesceOn is the runtime gate in front of the read coalescer:
+	// the adapt controller (or an OpCoalesce admin request) flips it
+	// while traffic runs. Off routes point gets straight through
+	// execute on the reader goroutine; the coalescer goroutine keeps
+	// running either way so a flip is a single atomic store with no
+	// lifecycle work. It only matters when cfg.CoalesceBatch > 1 —
+	// with batching configured off there is nothing to gate.
+	coalesceOn atomic.Bool
+
 	lnMu     sync.Mutex
 	ln       net.Listener
 	getc     chan getReq
@@ -250,8 +259,9 @@ func New(cfg Config) (*Server, error) {
 		conns:          make(map[*conn]struct{}),
 	}
 	s.statsSource = s.statsJSON
+	s.coalesceOn.Store(cfg.CoalesceBatch > 1)
 	if cfg.Sink != nil {
-		cfg.Sink.SetServerProbe(s.met.snapshot)
+		cfg.Sink.SetServerProbe(s.Metrics)
 	}
 	return s, nil
 }
@@ -259,7 +269,28 @@ func New(cfg Config) (*Server, error) {
 // Metrics digests the server's own counters (also reachable through a
 // sink's server probe; this accessor serves embedders without one).
 func (s *Server) Metrics() telemetry.ServerSnapshot {
-	return s.met.snapshot()
+	sn := s.met.snapshot()
+	sn.CoalesceOn = s.CoalesceEnabled()
+	return sn
+}
+
+// SetCoalesce flips the read coalescer's runtime gate. Safe under live
+// traffic from any goroutine: requests already handed to the coalescer
+// finish there, new point gets route per the new setting. A server
+// configured with CoalesceBatch <= 1 has no coalescer to enable, so the
+// call reports false and changes nothing.
+func (s *Server) SetCoalesce(on bool) bool {
+	if s.cfg.CoalesceBatch <= 1 {
+		return false
+	}
+	s.coalesceOn.Store(on)
+	return true
+}
+
+// CoalesceEnabled reports whether point gets currently route through
+// the shared coalescer.
+func (s *Server) CoalesceEnabled() bool {
+	return s.cfg.CoalesceBatch > 1 && s.coalesceOn.Load()
 }
 
 // Addr returns the bound listen address (nil before Serve).
@@ -432,7 +463,7 @@ func (c *conn) readLoop(nc net.Conn) {
 		c.inFlight.Add(1)
 		s.met.inFlight.Add(1)
 		s.met.accepted.Inc()
-		if req.Op == wire.OpGet && s.cfg.CoalesceBatch > 1 {
+		if req.Op == wire.OpGet && s.cfg.CoalesceBatch > 1 && s.coalesceOn.Load() {
 			c.reqWG.Add(1)
 			s.getc <- getReq{c: c, id: req.ID, key: req.Key}
 			continue
@@ -634,6 +665,13 @@ func (s *Server) execute(req *wire.Request) *wire.Response {
 	case wire.OpDrain:
 		s.store.DrainRetrains()
 		s.met.drains.Inc()
+	case wire.OpCoalesce:
+		// Admin toggle for the read coalescer; Key 0 = off, nonzero =
+		// on. Refused (not silently ignored) when there is no coalescer
+		// configured to gate.
+		if !s.SetCoalesce(req.Key != 0) {
+			resp.Status = wire.StatusUnsupported
+		}
 	default:
 		resp.Status = wire.StatusBadRequest
 	}

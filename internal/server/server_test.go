@@ -563,3 +563,60 @@ func TestWriteLoopDropsStalledWriter(t *testing.T) {
 
 // newBufReader builds the bufio.Reader ReadFrame wants from a net.Conn.
 func newBufReader(nc net.Conn) *bufio.Reader { return bufio.NewReader(nc) }
+
+// TestServerCoalesceToggle flips the read coalescer's runtime gate over
+// the wire and verifies the admin op is refused (not silently ignored)
+// on a server configured without a coalescer.
+func TestServerCoalesceToggle(t *testing.T) {
+	srv, store, addr := startServer(t, "xindex", Config{CoalesceWait: time.Millisecond})
+	if err := store.Put(1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+
+	if !srv.CoalesceEnabled() {
+		t.Fatal("coalescer configured but gate starts off")
+	}
+	if err := c.SetCoalesce(ctx, false); err != nil {
+		t.Fatalf("disable: %v", err)
+	}
+	if srv.CoalesceEnabled() {
+		t.Fatal("gate still on after OpCoalesce off")
+	}
+	// Point gets keep working with the gate in either position.
+	if v, ok, err := c.Get(ctx, 1); err != nil || !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("get with coalescer off: %q %v %v", v, ok, err)
+	}
+	if err := c.SetCoalesce(ctx, true); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	if !srv.CoalesceEnabled() {
+		t.Fatal("gate still off after OpCoalesce on")
+	}
+	if sn := srv.Metrics(); !sn.CoalesceOn {
+		t.Fatal("telemetry does not report the re-enabled gate")
+	}
+	if v, ok, err := c.Get(ctx, 1); err != nil || !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("get with coalescer back on: %q %v %v", v, ok, err)
+	}
+
+	// CoalesceBatch 1 disables the coalescer entirely; the toggle must
+	// refuse rather than pretend.
+	srv2, _, addr2 := startServer(t, "xindex", Config{CoalesceBatch: 1})
+	c2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	if err := c2.SetCoalesce(ctx, true); !errors.Is(err, wire.ErrUnsupported) {
+		t.Fatalf("SetCoalesce on uncoalesced server: %v, want ErrUnsupported", err)
+	}
+	if srv2.CoalesceEnabled() {
+		t.Fatal("refused toggle still enabled the gate")
+	}
+}

@@ -1,0 +1,274 @@
+package viper
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"learnedpieces/internal/adapt"
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/learned/rebuild"
+	"learnedpieces/internal/learned/rmi"
+	"learnedpieces/internal/pmem"
+)
+
+// verValue encodes (key, version) into a 16-byte payload so every read
+// can detect a stale or cross-key cache hit on the spot.
+func verValue(key, ver uint64) []byte {
+	v := make([]byte, 16)
+	binary.LittleEndian.PutUint64(v[0:8], key)
+	binary.LittleEndian.PutUint64(v[8:16], ver)
+	return v
+}
+
+func decodeVer(v []byte) (key, ver uint64) {
+	return binary.LittleEndian.Uint64(v[0:8]), binary.LittleEndian.Uint64(v[8:16])
+}
+
+func deltaRMI() *rebuild.Index {
+	return rebuild.New("rmi-delta", rebuild.Config{Threshold: 512},
+		func() rebuild.Inner { return rmi.New(rmi.Config{NumLeaves: 8}) })
+}
+
+// TestShadowCacheModelCheck drives the single-writer store (rmi-delta,
+// write-through Refresh on Put) through a long randomized schedule of
+// updates, deletes, reinserts, promotions, cache toggles and Compacts,
+// checking every Get against an exact model map. Any coherence bug —
+// a Refresh missing an index update, an Invalidate lost on Delete, a
+// generation bump not honoured after Compact — surfaces as a version
+// or key mismatch immediately.
+func TestShadowCacheModelCheck(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBUniform, 2000, 5)
+	hk := adapt.NewHotKeys(256)
+	s := Open(pmem.NewRegion(64<<20, pmem.None()), deltaRMI(), WithHotKeys(hk))
+	defer func() { _ = s.Close() }()
+
+	model := make(map[uint64]uint64, len(keys)) // key -> version
+	for _, k := range keys {
+		if err := s.Put(k, verValue(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = 0
+	}
+	hk.SetEnabled(true)
+
+	rng := rand.New(rand.NewSource(99))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(keys)-1))
+	pick := func() uint64 { return keys[zipf.Uint64()] }
+
+	check := func(k uint64) {
+		t.Helper()
+		v, ok := s.Get(k)
+		ver, present := model[k]
+		if !present {
+			if ok {
+				t.Fatalf("deleted key %d still readable", k)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("live key %d missing", k)
+		}
+		gotK, gotV := decodeVer(v)
+		if gotK != k || gotV != ver {
+			t.Fatalf("key %d: got (key=%d ver=%d), want ver %d — stale or cross-key cache hit",
+				k, gotK, gotV, ver)
+		}
+	}
+
+	for i := 0; i < 30_000; i++ {
+		k := pick()
+		switch op := rng.Intn(100); {
+		case op < 55: // read (zipf-hot, so the cache serves plenty)
+			check(k)
+		case op < 85: // update: exercises write-through Refresh
+			model[k]++
+			if err := s.Put(k, verValue(k, model[k])); err != nil {
+				t.Fatal(err)
+			}
+			check(k)
+		case op < 92: // delete + verify miss
+			if _, err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+			check(k)
+		case op < 97: // reinsert a deleted key (or bump a live one)
+			model[k]++
+			if err := s.Put(k, verValue(k, model[k])); err != nil {
+				t.Fatal(err)
+			}
+			check(k)
+		default: // flap the cache switch; coherence must not depend on it
+			hk.SetEnabled(rng.Intn(2) == 0)
+			hk.SetEnabled(true)
+		}
+
+		if i%200 == 0 {
+			s.PromoteHot(hk.TopKeys(32))
+		}
+		if i%10_000 == 9_999 {
+			// Compact rewrites every live offset; the generation bump
+			// must fence all cached entries at once.
+			if _, err := s.Compact(deltaRMI()); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys[:200] {
+				check(k)
+			}
+		}
+	}
+	s.DrainRetrains()
+	for _, k := range keys {
+		check(k)
+	}
+
+	st := hk.Stats()
+	if st.Hits == 0 {
+		t.Error("schedule never produced a cache hit; test exercised nothing")
+	}
+	if st.Refreshes == 0 {
+		t.Error("schedule never exercised write-through Refresh")
+	}
+	if st.Invalidations == 0 {
+		t.Error("schedule never exercised Invalidate")
+	}
+}
+
+// TestShadowCacheConcurrentCoherence is the -race property test on the
+// concurrent-writes tier (sharded btree, Put invalidates instead of
+// refreshing): writers own disjoint key slices and assert
+// read-your-writes through the cached Get path after every Put and
+// Delete, while a promoter publishes racing cache entries and readers
+// hammer cached Gets checking for cross-key corruption. Then writers
+// quiesce, Compact rewrites every offset, and the store must serve
+// every key's final version through the bumped-generation cache.
+func TestShadowCacheConcurrentCoherence(t *testing.T) {
+	keys := dataset.Generate(dataset.YCSBUniform, 1024, 17)
+	hk := adapt.NewHotKeys(128) // small: force slot takeover races
+	s := Open(pmem.NewRegion(128<<20, pmem.None()), shardedBTree(keys), WithHotKeys(hk))
+	defer func() { _ = s.Close() }()
+
+	latest := make([]atomic.Uint64, len(keys))
+	for i, k := range keys {
+		if err := s.Put(k, verValue(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+		latest[i].Store(0)
+	}
+	hk.SetEnabled(true)
+
+	var stop atomic.Bool
+	var wgWriters, wgAux sync.WaitGroup
+
+	const writers = 2
+	for w := 0; w < writers; w++ {
+		wgWriters.Add(1)
+		go func(w int) {
+			defer wgWriters.Done()
+			rng := rand.New(rand.NewSource(int64(w + 100)))
+			for i := 0; i < 4000; i++ {
+				ki := rng.Intn(len(keys)/writers)*writers + w // disjoint slice
+				k := keys[ki]
+				ver := latest[ki].Load() + 1
+				if rng.Intn(16) == 0 {
+					// Delete then reinsert: the delete's invalidation must
+					// make the miss visible before Put brings it back.
+					if _, err := s.Delete(k); err != nil {
+						t.Errorf("delete %d: %v", k, err)
+						return
+					}
+					if _, ok := s.Get(k); ok {
+						t.Errorf("key %d readable after its own Delete", k)
+						return
+					}
+				}
+				if err := s.Put(k, verValue(k, ver)); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					return
+				}
+				latest[ki].Store(ver)
+				// Read-your-writes through the cache: a promoter-raced
+				// stale entry surviving past Put is exactly the bug the
+				// publish -> re-probe -> invalidate protocol must prevent.
+				v, ok := s.Get(k)
+				if !ok {
+					t.Errorf("key %d missing after own Put", k)
+					return
+				}
+				if gotK, gotV := decodeVer(v); gotK != k || gotV != ver {
+					t.Errorf("key %d: read (key=%d ver=%d) after writing ver %d",
+						k, gotK, gotV, ver)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Promoter: publish entries for keys that are being overwritten
+	// under it (viper's PromoteHot re-probe closes the race).
+	wgAux.Add(1)
+	go func() {
+		defer wgAux.Done()
+		rng := rand.New(rand.NewSource(7))
+		batch := make([]uint64, 16)
+		for !stop.Load() {
+			for i := range batch {
+				batch[i] = keys[rng.Intn(len(keys))]
+			}
+			s.PromoteHot(batch)
+		}
+	}()
+
+	// Readers: any hit must carry its own key and a version some writer
+	// actually published.
+	for r := 0; r < 2; r++ {
+		wgAux.Add(1)
+		go func(seed int64) {
+			defer wgAux.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				ki := rng.Intn(len(keys))
+				v, ok := s.Get(keys[ki])
+				if !ok {
+					continue // mid-delete
+				}
+				gotK, gotV := decodeVer(v)
+				if gotK != keys[ki] {
+					t.Errorf("key %d served key %d's record", keys[ki], gotK)
+					return
+				}
+				if max := latest[ki].Load() + 1; gotV > max {
+					t.Errorf("key %d: version %d from the future (latest %d)", keys[ki], gotV, max)
+					return
+				}
+			}
+		}(int64(r + 40))
+	}
+
+	// Writers run bounded schedules; once they finish, stop the
+	// promoter and readers, then Compact on the quiesced store and
+	// verify the final state through the bumped-generation cache.
+	wgWriters.Wait()
+	stop.Store(true)
+	wgAux.Wait()
+	if _, err := s.Compact(shardedBTree(keys)); err != nil {
+		t.Fatal(err)
+	}
+	s.PromoteHot(keys[:64])
+	for ki, k := range keys {
+		v, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("key %d missing after Compact", k)
+		}
+		if gotK, gotV := decodeVer(v); gotK != k || gotV != latest[ki].Load() {
+			t.Fatalf("key %d: post-Compact read (key=%d ver=%d), want ver %d",
+				k, gotK, gotV, latest[ki].Load())
+		}
+	}
+	if hk.Stats().Hits == 0 {
+		t.Error("concurrent schedule never produced a cache hit")
+	}
+}

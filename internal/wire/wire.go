@@ -64,6 +64,10 @@ const (
 	OpScan
 	OpStats
 	OpDrain
+	// OpCoalesce is the admin op that toggles the server's read
+	// coalescer at runtime (Key: 0 = off, nonzero = on) — the adapt
+	// controller's remote knob.
+	OpCoalesce
 	opMax // sentinel: first invalid op
 )
 
@@ -84,6 +88,8 @@ func (o Op) String() string {
 		return "stats"
 	case OpDrain:
 		return "drain"
+	case OpCoalesce:
+		return "coalesce"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -189,6 +195,7 @@ var (
 //	OpScan     Key (start), Limit (1..MaxScanLimit; 0 is invalid)
 //	OpStats    —
 //	OpDrain    —
+//	OpCoalesce Key (0 = off, nonzero = on)
 type Request struct {
 	ID    uint64
 	Op    Op
@@ -254,7 +261,7 @@ func AppendRequest(dst []byte, r *Request) []byte {
 		case OpPut:
 			b = appendU64(b, r.Key)
 			b = append(b, r.Value...)
-		case OpGet, OpDelete:
+		case OpGet, OpDelete, OpCoalesce:
 			b = appendU64(b, r.Key)
 		case OpMultiGet:
 			b = appendU32(b, uint32(len(r.Keys)))
@@ -428,7 +435,7 @@ func DecodeRequest(b []byte) (Request, error) {
 		if len(r.Value) > MaxValue {
 			return Request{}, fmt.Errorf("%w: value %d bytes", ErrBadPayload, len(r.Value))
 		}
-	case OpGet, OpDelete:
+	case OpGet, OpDelete, OpCoalesce:
 		if r.Key, err = c.u64(); err != nil {
 			return Request{}, err
 		}
@@ -569,7 +576,7 @@ func DecodeResponse(op Op, b []byte) (Response, error) {
 				return Response{}, err
 			}
 		}
-	case OpPut, OpDrain:
+	case OpPut, OpDrain, OpCoalesce:
 		// No payload.
 	default:
 		return Response{}, fmt.Errorf("%w: %d", ErrBadOp, uint8(op))

@@ -35,6 +35,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 7, Op: OpScan, Key: 100, Limit: 25},
 		{ID: 8, Op: OpStats},
 		{ID: 9, Op: OpDrain},
+		{ID: 10, Op: OpCoalesce, Key: 1}, // admin toggle on
+		{ID: 11, Op: OpCoalesce, Key: 0}, // admin toggle off
 	}
 	for _, want := range cases {
 		t.Run(want.Op.String(), func(t *testing.T) {
@@ -80,6 +82,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{"drain", OpDrain, Response{ID: 13, Status: StatusOK}},
 		{"backpressure", OpGet, Response{ID: 14, Status: StatusBackpressure}},
 		{"closed", OpPut, Response{ID: 15, Status: StatusClosed}},
+		{"coalesce-ok", OpCoalesce, Response{ID: 16, Status: StatusOK}},
+		{"coalesce-unsupported", OpCoalesce, Response{ID: 17, Status: StatusUnsupported}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
