@@ -117,6 +117,7 @@ func main() {
 			SearchPolicy:     search.SetPolicy,
 			RetrainThreshold: func(n int) { store.SetRetrainThreshold(n) },
 			BatchFloor:       store.SetBatchFloor,
+			ScanBatch:        store.SetScanBatch,
 		}
 		if rmode == viper.RetrainAsync {
 			// Live sync/async routing needs the background pool; stores

@@ -63,6 +63,10 @@ type Knobs struct {
 	// BatchFloor sets the MultiGet batch size below which the store
 	// resolves keys one at a time instead of through the batch kernel.
 	BatchFloor func(n int)
+	// ScanBatch sets how many index entries the store's range-scan path
+	// pulls (and offset-sorts) per cursor round; n <= 0 restores the
+	// configured default (see viper.Store.SetScanBatch).
+	ScanBatch func(n int)
 	// Coalesce switches the server's cross-connection read coalescer.
 	Coalesce func(on bool)
 	// CacheEnable switches the hot-key shadow cache.
@@ -107,6 +111,7 @@ type knobState struct {
 	async     bool
 	threshold int
 	floor     int
+	scanBatch int
 	coalesce  bool
 	cache     bool
 }
@@ -228,11 +233,15 @@ func (c *Controller) apply(ph Phase, d Delta) {
 		want.cache = false
 	case PhaseScan:
 		// Range scans stream through the sorted space; coalescing and
-		// the point cache only help point reads.
+		// the point cache only help point reads. Deepen the cursor batch:
+		// when scans dominate, longer offset-sorted rounds amortise the
+		// per-round epoch pin and sort further with no point-read tail
+		// latency to protect.
 		want.policy = search.PolicyAuto
 		want.async = false
 		want.threshold = c.cfg.ReadThreshold
 		want.floor = 0
+		want.scanBatch = 1024
 		want.coalesce = false
 		want.cache = false
 	case PhaseSkew:
@@ -276,6 +285,10 @@ func (c *Controller) apply(ph Phase, d Delta) {
 	}
 	if k.BatchFloor != nil && (!last.valid || want.floor != last.floor) {
 		k.BatchFloor(want.floor)
+		c.flips.Add(1)
+	}
+	if k.ScanBatch != nil && (!last.valid || want.scanBatch != last.scanBatch) {
+		k.ScanBatch(want.scanBatch)
 		c.flips.Add(1)
 	}
 	if k.Coalesce != nil && (!last.valid || want.coalesce != last.coalesce) {

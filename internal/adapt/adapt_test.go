@@ -25,6 +25,12 @@ func (f *fakeFeed) push(gets, puts int64) {
 	f.cur.Store.Put.Ops += puts
 }
 
+func (f *fakeFeed) pushScans(scans int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cur.Store.Scan.Ops += scans
+}
+
 func (f *fakeFeed) snapshot() telemetry.Snapshot {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -37,6 +43,7 @@ type flipRecorder struct {
 	asyncs     []bool
 	thresholds []int
 	floors     []int
+	scanBatch  []int
 	coalesces  []bool
 	caches     []bool
 	promotes   int
@@ -48,6 +55,7 @@ func (r *flipRecorder) knobs() Knobs {
 		RetrainAsync:     func(on bool) { r.asyncs = append(r.asyncs, on) },
 		RetrainThreshold: func(n int) { r.thresholds = append(r.thresholds, n) },
 		BatchFloor:       func(n int) { r.floors = append(r.floors, n) },
+		ScanBatch:        func(n int) { r.scanBatch = append(r.scanBatch, n) },
 		Coalesce:         func(on bool) { r.coalesces = append(r.coalesces, on) },
 		CacheEnable:      func(on bool) { r.caches = append(r.caches, on) },
 		Promote:          func(keys []uint64) { r.promotes++ },
@@ -122,6 +130,36 @@ func TestControllerConfirmHysteresis(t *testing.T) {
 	}
 	if last(rec.coalesces) || last(rec.caches) {
 		t.Error("insert posture left coalesce/cache on")
+	}
+}
+
+func TestControllerScanPhaseDeepensScanBatch(t *testing.T) {
+	feed := &fakeFeed{}
+	rec := &flipRecorder{}
+	c := newTestController(feed, rec, nil)
+	c.Tick() // prime
+
+	// Two scan-dominated windows commit PhaseScan, which must deepen
+	// the store's cursor batch.
+	feed.pushScans(10_000)
+	c.Tick()
+	feed.pushScans(10_000)
+	if got := c.Tick(); got != PhaseScan {
+		t.Fatalf("phase after two scan windows = %v, want scan", got)
+	}
+	if n := len(rec.scanBatch); n == 0 || rec.scanBatch[n-1] != 1024 {
+		t.Fatalf("scan posture batch knob = %v, want trailing 1024", rec.scanBatch)
+	}
+
+	// Returning to point reads must restore the default (<= 0).
+	feed.push(10_000, 0)
+	c.Tick()
+	feed.push(10_000, 0)
+	if got := c.Tick(); got != PhaseRead {
+		t.Fatalf("phase after two read windows = %v, want read", got)
+	}
+	if n := len(rec.scanBatch); rec.scanBatch[n-1] > 0 {
+		t.Fatalf("read posture left scan batch at %d, want default (<= 0)", rec.scanBatch[n-1])
 	}
 }
 

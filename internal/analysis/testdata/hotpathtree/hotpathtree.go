@@ -108,6 +108,25 @@ func meterHelper() int64 {
 	return time.Now().UnixNano()
 }
 
+// LeakyCursor models a streaming-iterator pull path that forgot the
+// pooled-scratch discipline: a hotpath Next that grows its stack and
+// boxes entries on every pull. Both allocations must surface through
+// the helper hop.
+type LeakyCursor struct {
+	stack []uint64
+}
+
+//pieces:hotpath
+func (c *LeakyCursor) Next(keys []uint64) int {
+	return c.refill(keys)
+}
+
+func (c *LeakyCursor) refill(keys []uint64) int {
+	c.stack = append(c.stack, 1)     // want "append allocates in LeakyCursor.refill, reached from hotpath LeakyCursor.Next"
+	buf := make([]uint64, len(keys)) // want "make allocates in LeakyCursor.refill, reached from hotpath LeakyCursor.Next"
+	return copy(keys, buf)
+}
+
 // SearchRoot's helper hands a literal straight to sort.Search, which is
 // non-escaping: no finding.
 //

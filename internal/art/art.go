@@ -8,6 +8,7 @@ package art
 import (
 	"bytes"
 	"encoding/binary"
+	"sync"
 
 	"learnedpieces/internal/index"
 )
@@ -478,6 +479,180 @@ func (t *Tree) scan(nd interface{}, sb [8]byte, depth int, bounded bool, start u
 		}
 	}
 	return true
+}
+
+// nextOccupied returns the first occupied slot >= s in nd's slot space
+// and its child, or (-1, nil) when the node has no further children.
+// Slot spaces differ by node kind: node4/16 index their sorted keys
+// array, node48/256 use the byte value itself, so ascending slot order
+// is ascending key-byte order for every kind.
+func nextOccupied(nd interface{}, s int) (int, interface{}) {
+	switch x := nd.(type) {
+	case *node4:
+		if s < x.n {
+			return s, x.children[s]
+		}
+	case *node16:
+		if s < x.n {
+			return s, x.children[s]
+		}
+	case *node48:
+		for ; s < 256; s++ {
+			if i := x.idx[s]; i >= 0 {
+				return s, x.children[i]
+			}
+		}
+	case *node256:
+		for ; s < 256; s++ {
+			if x.children[s] != nil {
+				return s, x.children[s]
+			}
+		}
+	}
+	return -1, nil
+}
+
+// lowerSlot returns the first occupied slot whose key byte is >= min,
+// the byte at that slot, and the child there; slot -1 when every child
+// byte is < min.
+func lowerSlot(nd interface{}, min byte) (int, byte, interface{}) {
+	switch x := nd.(type) {
+	case *node4:
+		for i := 0; i < x.n; i++ {
+			if x.keys[i] >= min {
+				return i, x.keys[i], x.children[i]
+			}
+		}
+	case *node16:
+		for i := 0; i < x.n; i++ {
+			if x.keys[i] >= min {
+				return i, x.keys[i], x.children[i]
+			}
+		}
+	case *node48, *node256:
+		if s, c := nextOccupied(nd, int(min)); s >= 0 {
+			return s, byte(s), c
+		}
+	}
+	return -1, 0, nil
+}
+
+// artFrame is one level of a cursor's explicit walk stack: the next
+// slot to visit in nd.
+type artFrame struct {
+	nd interface{}
+	s  int
+}
+
+// cursor streams the trie in key order through an explicit stack. The
+// byte-descent in Range does all the start-boundary pruning, so every
+// frame on the stack covers only keys >= start and Next never compares
+// keys. Depth is bounded by the 8 key bytes, so the pooled stack
+// capacity is never outgrown; the walk itself stays allocation-free.
+type cursor struct {
+	stack   []artFrame
+	pk, pv  uint64
+	pending bool
+}
+
+var cursorPool = sync.Pool{New: func() any {
+	return &cursor{stack: make([]artFrame, 0, 16)}
+}}
+
+// Range implements index.Ranger: one bounded byte-descent positions the
+// stack at the first entry with key >= start (mirroring Scan's pruning
+// rules), then Next walks depth-first. The cursor observes the tree
+// under the same contract as Scan — no mutation while it is open.
+func (t *Tree) Range(start uint64) index.Cursor {
+	c := cursorPool.Get().(*cursor)
+	c.stack = c.stack[:0]
+	c.pending = false
+	sb := keyBytes(start)
+	nd := t.root
+	depth := 0
+	for nd != nil {
+		if l, ok := nd.(*leaf); ok {
+			if l.key >= start {
+				c.pk, c.pv, c.pending = l.key, l.val, true
+			}
+			break
+		}
+		h := hdr(nd)
+		cmp := 0
+		for i := 0; i < len(h.prefix) && depth+i < 8; i++ {
+			if h.prefix[i] != sb[depth+i] {
+				cmp = -1
+				if h.prefix[i] > sb[depth+i] {
+					cmp = 1
+				}
+				break
+			}
+		}
+		if cmp < 0 {
+			// The compressed path precedes start: the entire subtree is
+			// < start, and any siblings above it are already stacked.
+			break
+		}
+		if cmp > 0 {
+			// The path diverges above start: every key below is >= start.
+			c.stack = append(c.stack, artFrame{nd, 0})
+			break
+		}
+		depth += len(h.prefix)
+		if depth >= 8 {
+			c.stack = append(c.stack, artFrame{nd, 0})
+			break
+		}
+		s, b, child := lowerSlot(nd, sb[depth])
+		if s < 0 {
+			break
+		}
+		if b > sb[depth] {
+			c.stack = append(c.stack, artFrame{nd, s})
+			break
+		}
+		// b == sb[depth]: descend the equal edge, stack its right siblings.
+		c.stack = append(c.stack, artFrame{nd, s + 1})
+		nd = child
+		depth++
+	}
+	return c
+}
+
+// Next fills the destination slices with the next in-order entries. Not
+// hotpath-marked: the DFS stack may grow past the pooled capacity on
+// its first deep descent, and that one append is an allocation the
+// analyzer cannot see is amortised across the cursor's pooled lifetime.
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	if c.pending && len(keys) > 0 {
+		keys[0], vals[0] = c.pk, c.pv
+		c.pending = false
+		n = 1
+	}
+	for n < len(keys) && len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		s, child := nextOccupied(top.nd, top.s)
+		if s < 0 {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		top.s = s + 1
+		if l, ok := child.(*leaf); ok {
+			keys[n] = l.key
+			vals[n] = l.val
+			n++
+		} else {
+			c.stack = append(c.stack, artFrame{child, 0})
+		}
+	}
+	return n
+}
+
+func (c *cursor) Close() {
+	c.stack = c.stack[:0]
+	c.pending = false
+	cursorPool.Put(c)
 }
 
 // BulkLoad inserts sorted keys one by one; tries build incrementally.

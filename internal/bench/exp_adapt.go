@@ -269,6 +269,7 @@ func RunAdapt(cfg Config) error {
 					},
 					RetrainThreshold: func(n int) { s.SetRetrainThreshold(n) },
 					BatchFloor:       s.SetBatchFloor,
+					ScanBatch:        s.SetScanBatch,
 					CacheEnable:      hk.SetEnabled,
 					Promote:          func(keys []uint64) { s.PromoteHot(keys) },
 				},

@@ -12,51 +12,129 @@ import (
 	"learnedpieces/internal/learned/apex"
 	"learnedpieces/internal/pmem"
 	"learnedpieces/internal/stats"
+	"learnedpieces/internal/viper"
 	"learnedpieces/internal/workload"
 )
 
-// RunScan reproduces the paper's appendix range-query evaluation: short
-// ascending scans (the operation that separates sorted indexes from the
-// CCEH hash baseline) across the ordered indexes.
+// RunScan is the range-query evaluation, extended from the paper's
+// appendix into the scan fast-path comparison: every ordered index runs
+// the same random-start scans twice through the store — once on the
+// legacy per-entry path (SetScanBatch(1): one index callback and two
+// key-ordered PMem reads per entry) and once on the batched path
+// (cursor pulls a batch of index entries, record reads issued in
+// ascending PMem offset order, re-emitted in key order) — across
+// datasets and scan lengths, plus a descending pass where the index
+// layout permits reverse cursors. The legacy column is the seed
+// baseline BENCH_PR10.json compares against.
 func RunScan(cfg Config) error {
-	keys := dataset.Generate(dataset.YCSBNormal, cfg.N, cfg.Seed)
-	t := stats.NewTable(fmt.Sprintf("Appendix: range scans (n=%d)", cfg.N),
-		"index", "scan len", "Mops/s(entries)", "p99.9(us)")
-	names := []string{"rmi", "rs", "fiting-buf", "pgm", "alex", "xindex", "lipp", "btree", "skiplist", "art"}
-	for _, scanLen := range []int{10, 100} {
+	datasets := []struct {
+		label string
+		kind  dataset.Kind
+	}{
+		{"ycsb", dataset.YCSBNormal},
+		{"osm", dataset.OSMLike},
+	}
+	names := []string{"rmi-delta", "rs-delta", "fiting-buf", "pgm", "alex", "xindex", "lipp", "finedex", "btree", "skiplist", "art"}
+	t := stats.NewTable(fmt.Sprintf("Range scans: per-entry legacy vs offset-ordered batched, half-updated stores (n=%d)", cfg.N),
+		"dataset", "index", "scan len", "legacy Me/s", "batched Me/s", "speedup", "rev Me/s", "batched p99.9(us)")
+	for _, ds := range datasets {
+		keys := dataset.Generate(ds.kind, cfg.N, cfg.Seed)
 		for _, name := range names {
 			s, err := cfg.buildStore(mustEntry(name).New(), keys)
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
-			rng := rand.New(rand.NewSource(cfg.Seed + 5))
-			h := stats.NewHistogram()
-			entries := 0
-			nScans := cfg.Ops / scanLen
-			if nScans < 1 {
-				nScans = 1
-			}
-			runtime.GC()
-			start := time.Now()
-			for i := 0; i < nScans; i++ {
-				from := keys[rng.Intn(len(keys))]
-				t0 := time.Now()
-				err := s.Scan(from, scanLen, func(k uint64, v []byte) bool {
-					entries++
-					return true
-				})
-				if err != nil {
-					return fmt.Errorf("%s: %w", name, err)
+			// Overwrite half the keys in shuffled order: updates append
+			// fresh records at the log tail, so record placement
+			// decorrelates from key order. This is the state every aged
+			// store is in — and the state where offset-ordering matters
+			// (a fresh bulk load is already offset-ordered, so both scan
+			// paths read the device near-sequentially there).
+			v := cfg.value()
+			for _, k := range dataset.Shuffled(keys, cfg.Seed+9)[:len(keys)/2] {
+				if err := s.Put(k, v); err != nil {
+					return fmt.Errorf("%s age: %w", name, err)
 				}
-				h.RecordSince(t0)
 			}
-			elapsed := time.Since(start)
-			t.AddRow(name, scanLen, float64(entries)/elapsed.Seconds()/1e6, usec(h.Percentile(99.9)))
+			s.DrainRetrains()
+			for _, scanLen := range []int{10, 100} {
+				nScans := cfg.Ops / scanLen
+				if nScans < 1 {
+					nScans = 1
+				}
+				// Identical start keys for every mode, so the three
+				// measurements visit the same entries.
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(scanLen)))
+				starts := make([]uint64, nScans)
+				for i := range starts {
+					starts[i] = keys[rng.Intn(len(keys))]
+				}
+				s.SetScanBatch(1)
+				leg, err := measureScans(s, starts, scanLen, false)
+				if err != nil {
+					return fmt.Errorf("%s legacy: %w", name, err)
+				}
+				s.SetScanBatch(0) // restore the batched default
+				bat, err := measureScans(s, starts, scanLen, false)
+				if err != nil {
+					return fmt.Errorf("%s batched: %w", name, err)
+				}
+				rev := "-"
+				if s.Caps().RangeDesc {
+					rm, err := measureScans(s, starts, scanLen, true)
+					if err != nil {
+						return fmt.Errorf("%s desc: %w", name, err)
+					}
+					rev = fmt.Sprintf("%.3f", rm.meps)
+				}
+				t.AddRow(ds.label, name, scanLen,
+					fmt.Sprintf("%.3f", leg.meps), fmt.Sprintf("%.3f", bat.meps),
+					fmt.Sprintf("%.2fx", bat.meps/leg.meps), rev, bat.p999)
+			}
 			_ = s.Close()
 		}
 	}
 	cfg.render(t)
 	return nil
+}
+
+// scanRate is one scan measurement: million entries delivered per
+// second and the per-scan p99.9 in microseconds.
+type scanRate struct {
+	meps float64
+	p999 float64
+}
+
+// measureScans drives one scan per start key through the store's
+// forward (Range) or descending (RangeDesc) path and aggregates the
+// delivered-entry rate.
+func measureScans(s *viper.Store, starts []uint64, scanLen int, desc bool) (scanRate, error) {
+	h := stats.NewHistogram()
+	entries := 0
+	cb := func(k uint64, v []byte) bool {
+		entries++
+		return true
+	}
+	runtime.GC()
+	start := time.Now()
+	for _, from := range starts {
+		t0 := time.Now()
+		var err error
+		if desc {
+			err = s.RangeDesc(from, scanLen, cb)
+		} else {
+			err = s.Range(from, scanLen, cb)
+		}
+		if err != nil {
+			return scanRate{}, err
+		}
+		h.RecordSince(t0)
+	}
+	elapsed := time.Since(start)
+	return scanRate{
+		meps: float64(entries) / elapsed.Seconds() / 1e6,
+		p999: usec(h.Percentile(99.9)),
+	}, nil
 }
 
 // RunExtLIPP evaluates the LIPP-style index the paper could not (§V-B1:

@@ -5,6 +5,7 @@
 package btree
 
 import (
+	"sync"
 	"unsafe"
 
 	"learnedpieces/internal/index"
@@ -322,6 +323,59 @@ func (t *BTree) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 		start = 0
 		l = l.next
 	}
+}
+
+// cursor streams the linked leaves; the descent happened in Range.
+type cursor struct {
+	l *leaf
+	i int
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger: one descent through the shared search
+// kernels locates the leaf and slot of the first key >= start, then the
+// pooled cursor walks the leaf chain. Descending iteration is not
+// offered — leaves link forward only.
+func (t *BTree) Range(start uint64) index.Cursor {
+	node := t.root
+	for {
+		x, ok := node.(*inner)
+		if !ok {
+			break
+		}
+		node = x.kids[upperBound(x.keys[:x.n], start)]
+	}
+	l := node.(*leaf)
+	c := cursorPool.Get().(*cursor)
+	c.l, c.i = l, lowerBound(l.keys[:l.n], start)
+	return c
+}
+
+// Next fills the destination slices from the leaf chain.
+//
+//pieces:hotpath
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	l, i := c.l, c.i
+	for l != nil && n < len(keys) {
+		for i < l.n && n < len(keys) {
+			keys[n] = l.keys[i]
+			vals[n] = l.vals[i]
+			i++
+			n++
+		}
+		if i >= l.n {
+			l, i = l.next, 0
+		}
+	}
+	c.l, c.i = l, i
+	return n
+}
+
+func (c *cursor) Close() {
+	c.l = nil
+	cursorPool.Put(c)
 }
 
 // BulkLoad builds the tree bottom-up from sorted distinct keys. The tree

@@ -311,6 +311,48 @@ func (c *Conn) Scan(ctx context.Context, start uint64, limit int) ([]wire.Entry,
 	return resp.Entries, nil
 }
 
+// RangeChunks streams up to limit live entries with key >= start in
+// ascending key order through the server's cursor-continuation scan:
+// each server frame carries one bounded chunk (at most
+// wire.MaxRangeChunk entries) and the client resumes at the frame's
+// ResumeKey until the server reports the range exhausted or limit is
+// reached. fn is called once per chunk with that chunk's entries
+// (aliasing a per-chunk allocation — safe to retain) and whether more
+// chunks follow; returning false stops the stream early.
+func (c *Conn) RangeChunks(ctx context.Context, start uint64, limit int, fn func(entries []wire.Entry, more bool) bool) error {
+	if limit < 1 || limit > wire.MaxScanLimit {
+		return fmt.Errorf("client: range limit %d out of range", limit)
+	}
+	remaining := limit
+	for remaining > 0 {
+		resp, err := c.roundTrip(ctx, &wire.Request{
+			Op: wire.OpRange, Key: start, Limit: uint32(remaining),
+		})
+		if err != nil {
+			return err
+		}
+		remaining -= len(resp.Entries)
+		more := resp.More && remaining > 0
+		if !fn(resp.Entries, more) || !more {
+			return nil
+		}
+		start = resp.ResumeKey
+	}
+	return nil
+}
+
+// Range collects a cursor-continuation scan into one slice: up to
+// limit entries with key >= start, in ascending key order, however
+// many frames the server needed.
+func (c *Conn) Range(ctx context.Context, start uint64, limit int) ([]wire.Entry, error) {
+	var out []wire.Entry
+	err := c.RangeChunks(ctx, start, limit, func(entries []wire.Entry, _ bool) bool {
+		out = append(out, entries...)
+		return true
+	})
+	return out, err
+}
+
 // Stats fetches the server's telemetry snapshot as JSON bytes.
 func (c *Conn) Stats(ctx context.Context) ([]byte, error) {
 	resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpStats})
@@ -410,4 +452,10 @@ func (p *Pool) Delete(ctx context.Context, key uint64) (bool, error) {
 // MultiGet reads a batch on the next pooled connection.
 func (p *Pool) MultiGet(ctx context.Context, keys []uint64) ([][]byte, error) {
 	return p.Conn().MultiGet(ctx, keys)
+}
+
+// Range streams a cursor-continuation scan on the next pooled
+// connection (all of one range's frames share that connection).
+func (p *Pool) Range(ctx context.Context, start uint64, limit int) ([]wire.Entry, error) {
+	return p.Conn().Range(ctx, start, limit)
 }

@@ -16,6 +16,11 @@ type Caps struct {
 	// cannot be honoured by its current composition (the sharded wrapper
 	// over a hash index) masks this through Capser.
 	Scan bool
+	// Range: streaming cursors (Ranger) work — the batched scan fast
+	// path. Implies the same ordering guarantees as Scan.
+	Range bool
+	// RangeDesc: descending cursors (ReverseRanger) work.
+	RangeDesc bool
 	// Delete: keys can be removed.
 	Delete bool
 	// Upsert: InsertReplace reports prior existence atomically.
@@ -55,6 +60,8 @@ func CapsOf(idx Index) Caps {
 	var caps Caps
 	_, caps.Bulk = idx.(Bulk)
 	_, caps.Scan = idx.(Scanner)
+	_, caps.Range = idx.(Ranger)
+	_, caps.RangeDesc = idx.(ReverseRanger)
 	_, caps.Delete = idx.(Deleter)
 	_, caps.Upsert = idx.(Upserter)
 	_, caps.BatchGet = idx.(BatchGetter)

@@ -1,0 +1,139 @@
+package index
+
+import "sync"
+
+// Shared pooled cursors. Flat-array indexes (rmi, rs) and layered
+// merge indexes (pgm) build their Range cursors from these instead of
+// re-implementing the walk; the pools keep cursor opens allocation-free
+// after warm-up, which the hotpath analyzer verifies on the Next
+// methods. Positioning (the one model descent / binary search per
+// Range call) stays in the owning index — these helpers only walk.
+
+// sliceCursor streams parallel sorted key/value slices from a
+// caller-located position, ascending or descending.
+type sliceCursor struct {
+	keys, vals []uint64
+	pos        int
+	desc       bool
+}
+
+var sliceCursorPool = sync.Pool{New: func() any { return new(sliceCursor) }}
+
+// NewSliceCursor returns a pooled cursor over the parallel sorted
+// slices keys/vals. pos is the caller-located start position (the
+// lower bound of the range start for ascending cursors, the last
+// position <= start for descending ones — out-of-range positions
+// yield an exhausted cursor). vals may be nil for key-only indexes,
+// in which case every value reads as 0. The cursor aliases the
+// slices; they must stay immutable while it is open.
+func NewSliceCursor(keys, vals []uint64, pos int, desc bool) Cursor {
+	c := sliceCursorPool.Get().(*sliceCursor)
+	c.keys, c.vals, c.pos, c.desc = keys, vals, pos, desc
+	return c
+}
+
+// Next fills the destination slices with the next batch of entries.
+//
+//pieces:hotpath
+func (c *sliceCursor) Next(keys, vals []uint64) int {
+	n := 0
+	step := 1
+	if c.desc {
+		step = -1
+	}
+	for n < len(keys) && c.pos >= 0 && c.pos < len(c.keys) {
+		keys[n] = c.keys[c.pos]
+		if c.vals != nil {
+			vals[n] = c.vals[c.pos]
+		} else {
+			vals[n] = 0
+		}
+		c.pos += step
+		n++
+	}
+	return n
+}
+
+func (c *sliceCursor) Close() {
+	c.keys, c.vals = nil, nil
+	sliceCursorPool.Put(c)
+}
+
+// MergeLayer is one sorted source of a merge cursor. Pos is the
+// caller-located start position within Keys (lower bound of the range
+// start); Next advances it. Dead, when non-nil, marks tombstoned
+// entries: a winning dead entry suppresses its key entirely —
+// including older layers' live versions — exactly the shadowing rule
+// of the delta-buffer Scan paths it replaces.
+type MergeLayer struct {
+	Keys, Vals []uint64
+	Dead       []bool
+	Pos        int
+}
+
+type mergeCursor struct {
+	layers []MergeLayer
+}
+
+var mergeCursorPool = sync.Pool{New: func() any { return new(mergeCursor) }}
+
+// NewMergeCursor returns a pooled cursor merging the given sorted
+// layers in ascending key order, newest layer first: when several
+// layers hold the same key, the earliest layer's entry wins and the
+// others are skipped. The layer slice is copied into pooled storage;
+// the Keys/Vals/Dead slices are aliased and must stay immutable while
+// the cursor is open.
+func NewMergeCursor(layers []MergeLayer) Cursor {
+	c := mergeCursorPool.Get().(*mergeCursor)
+	c.layers = append(c.layers[:0], layers...)
+	return c
+}
+
+// Next fills the destination slices with the next merged live entries.
+//
+//pieces:hotpath
+func (c *mergeCursor) Next(keys, vals []uint64) int {
+	n := 0
+	for n < len(keys) {
+		min := uint64(0)
+		win := -1
+		for i := range c.layers {
+			l := &c.layers[i]
+			if l.Pos >= len(l.Keys) {
+				continue
+			}
+			if k := l.Keys[l.Pos]; win < 0 || k < min {
+				min, win = k, i
+			}
+		}
+		if win < 0 {
+			break
+		}
+		l := &c.layers[win]
+		dead := l.Dead != nil && l.Dead[l.Pos]
+		var val uint64
+		if l.Vals != nil {
+			val = l.Vals[l.Pos]
+		}
+		// Advance every layer sitting on the winning key; layers before
+		// win cannot hold it (they would have won).
+		for i := win; i < len(c.layers); i++ {
+			l2 := &c.layers[i]
+			if l2.Pos < len(l2.Keys) && l2.Keys[l2.Pos] == min {
+				l2.Pos++
+			}
+		}
+		if dead {
+			continue
+		}
+		keys[n] = min
+		vals[n] = val
+		n++
+	}
+	return n
+}
+
+func (c *mergeCursor) Close() {
+	c.layers = c.layers[:0]
+	mergeCursorPool.Put(c)
+}

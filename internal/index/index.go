@@ -37,6 +37,40 @@ type Scanner interface {
 	Scan(start uint64, n int, fn func(key, value uint64) bool)
 }
 
+// Cursor streams one index range in key order. Next fills the parallel
+// key/value slices (equal length, len >= 1) with the next entries of
+// the range and returns how many it produced; 0 means the range is
+// exhausted. Close releases the cursor's pooled state — cursors are
+// pooled by their index, so a cursor must not be used after Close and
+// every opened cursor must be closed exactly once.
+//
+// A cursor observes the index under the same safety contract as Scan:
+// single-writer indexes must not be mutated while a cursor is open;
+// indexes with ConcurrentReads may serve cursors from any goroutine,
+// re-snapshotting internally between Next calls as needed.
+type Cursor interface {
+	Next(keys, vals []uint64) int
+	Close()
+}
+
+// Ranger is implemented by ordered indexes that can stream a range
+// through a reusable cursor instead of a callback Scan: the index
+// positions once (via the shared search kernels) at the first entry
+// with key >= start, then each Next walks segment/leaf-sequentially.
+// This is the store's batched scan seam — the cursor yields raw
+// (key, offset) pairs in bulk so the store can reorder the record
+// reads by PMem offset.
+type Ranger interface {
+	Range(start uint64) Cursor
+}
+
+// ReverseRanger is implemented by indexes whose layout permits
+// descending iteration: RangeDesc positions at the last entry with
+// key <= start and streams in descending key order.
+type ReverseRanger interface {
+	RangeDesc(start uint64) Cursor
+}
+
 // Deleter is implemented by indexes supporting removal. It reports
 // whether the key was present.
 type Deleter interface {

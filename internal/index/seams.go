@@ -14,6 +14,8 @@ type Seam struct {
 	Upsert       Upserter
 	Delete       Deleter
 	Scan         Scanner
+	Range        Ranger
+	RangeDesc    ReverseRanger
 	Bulk         Bulk
 	Batch        BatchGetter
 	AsyncRetrain AsyncRetrainer
@@ -28,6 +30,8 @@ func Seams(idx Index) Seam {
 	s.Upsert, _ = idx.(Upserter)
 	s.Delete, _ = idx.(Deleter)
 	s.Scan, _ = idx.(Scanner)
+	s.Range, _ = idx.(Ranger)
+	s.RangeDesc, _ = idx.(ReverseRanger)
 	s.Bulk, _ = idx.(Bulk)
 	s.Batch, _ = idx.(BatchGetter)
 	s.AsyncRetrain, _ = idx.(AsyncRetrainer)

@@ -34,6 +34,7 @@ func RunAll(t *testing.T, name string, f Factory) {
 	if caps.Scan {
 		t.Run(name+"/scan", func(t *testing.T) { testScan(t, f) })
 	}
+	RunScanConformance(t, name, f)
 	if caps.Delete {
 		t.Run(name+"/delete", func(t *testing.T) { testDelete(t, f) })
 	}
@@ -82,6 +83,7 @@ func RunReadOnly(t *testing.T, name string, f Factory) {
 	if caps.Scan {
 		t.Run(name+"/scan", func(t *testing.T) { testScan(t, f) })
 	}
+	RunScanConformance(t, name, f)
 	if caps.Sized {
 		t.Run(name+"/sizes", func(t *testing.T) { testSizes(t, f) })
 	}

@@ -1,0 +1,292 @@
+package indextest
+
+import (
+	"sort"
+	"testing"
+
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/index"
+)
+
+// RunScanConformance is the range-scan conformance suite: ascending
+// order, start-boundary inclusion, exact-limit stop, empty ranges, and
+// — for indexes exposing streaming cursors — cursor/Scan equivalence,
+// cursor resume at lastKey+1, and descending iteration. Every check is
+// gated on the capability descriptor, so the suite runs against every
+// index and exercises exactly the surface it advertises. The cursor
+// checks pull with several buffer sizes, which under -race also
+// exercises the pooled cursors' reuse across opens.
+func RunScanConformance(t *testing.T, name string, f Factory) {
+	caps := index.CapsOf(f())
+	if !caps.Scan && !caps.Range {
+		t.Run(name+"/scan-unsupported", func(t *testing.T) {
+			// An honest refusal: nothing to conform to.
+			t.Skipf("%s advertises neither Scan nor Range", name)
+		})
+		return
+	}
+	if caps.Scan {
+		t.Run(name+"/scan-order", func(t *testing.T) { testScanOrder(t, f) })
+		t.Run(name+"/scan-limit", func(t *testing.T) { testScanLimit(t, f) })
+		t.Run(name+"/scan-empty", func(t *testing.T) { testScanEmpty(t, f) })
+	}
+	if caps.Range {
+		t.Run(name+"/cursor-matches-scan", func(t *testing.T) { testCursorMatchesScan(t, f) })
+		t.Run(name+"/cursor-resume", func(t *testing.T) { testCursorResume(t, f) })
+	}
+	if caps.RangeDesc {
+		t.Run(name+"/cursor-desc", func(t *testing.T) { testCursorDesc(t, f) })
+	}
+}
+
+// loadConformance fills an index with a reproducible key set — bulk
+// load where supported, inserts otherwise, plus a post-load insert and
+// delete phase where the index is dynamic — and returns the expected
+// sorted live keys (every key maps to itself as value).
+func loadConformance(t *testing.T, idx index.Index) []uint64 {
+	t.Helper()
+	keys := dataset.Generate(dataset.YCSBUniform, 4000, 71)
+	if b, ok := idx.(index.Bulk); ok {
+		if err := b.BulkLoad(keys, keys); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for _, k := range keys {
+			mustInsert(t, idx, k, k)
+		}
+	}
+	live := map[uint64]bool{}
+	for _, k := range keys {
+		live[k] = true
+	}
+	// Dynamic indexes additionally absorb inserts (delta layers, node
+	// splits) and deletes, so the ordered walk crosses layer boundaries.
+	extra := dataset.Generate(dataset.YCSBNormal, 500, 72)
+	if err := idx.Insert(extra[0], extra[0]); err != index.ErrReadOnly {
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[extra[0]] = true
+		for _, k := range extra[1:] {
+			mustInsert(t, idx, k, k)
+			live[k] = true
+		}
+		if del, ok := idx.(index.Deleter); ok && index.CapsOf(idx).Delete {
+			for i := 0; i < len(keys); i += 17 {
+				del.Delete(keys[i])
+				delete(live, keys[i])
+			}
+		}
+	}
+	sorted := make([]uint64, 0, len(live))
+	for k := range live {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}
+
+// collectScan drains Scan(start, n) into a slice, checking key==value.
+func collectScan(t *testing.T, idx index.Index, start uint64, n int) []uint64 {
+	t.Helper()
+	var got []uint64
+	idx.(index.Scanner).Scan(start, n, func(k, v uint64) bool {
+		if k != v {
+			t.Fatalf("scan visited (%d,%d), want key==value", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	return got
+}
+
+// collectCursor drains a cursor into a slice using the given pull
+// buffer size, checking key==value.
+func collectCursor(t *testing.T, cur index.Cursor, buf int) []uint64 {
+	t.Helper()
+	keys := make([]uint64, buf)
+	vals := make([]uint64, buf)
+	var got []uint64
+	for {
+		m := cur.Next(keys, vals)
+		if m == 0 {
+			return got
+		}
+		for i := 0; i < m; i++ {
+			if keys[i] != vals[i] {
+				t.Fatalf("cursor yielded (%d,%d), want key==value", keys[i], vals[i])
+			}
+			got = append(got, keys[i])
+		}
+	}
+}
+
+func testScanOrder(t *testing.T, f Factory) {
+	idx := f()
+	want := loadConformance(t, idx)
+	got := collectScan(t, idx, 0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("full scan visited %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan order broken at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	// Start boundary: scanning from an existing key includes it...
+	mid := want[len(want)/2]
+	if g := collectScan(t, idx, mid, 1); len(g) != 1 || g[0] != mid {
+		t.Fatalf("scan(%d) started at %v, want inclusive start", mid, g)
+	}
+	// ...and from the gap right after it, at its successor.
+	if next := want[len(want)/2+1]; mid+1 < next {
+		if g := collectScan(t, idx, mid+1, 1); len(g) != 1 || g[0] != next {
+			t.Fatalf("scan(%d) started at %v, want %d", mid+1, g, next)
+		}
+	}
+}
+
+func testScanLimit(t *testing.T, f Factory) {
+	idx := f()
+	want := loadConformance(t, idx)
+	start := want[len(want)/4]
+	if g := collectScan(t, idx, start, 37); len(g) != 37 {
+		t.Fatalf("limited scan visited %d entries, want exactly 37", len(g))
+	}
+	// A limit past the tail stops at exhaustion, not before.
+	tail := want[len(want)-5]
+	if g := collectScan(t, idx, tail, 100); len(g) != 5 {
+		t.Fatalf("tail scan visited %d entries, want the 5 remaining", len(g))
+	}
+	// Early termination by callback return.
+	seen := 0
+	idx.(index.Scanner).Scan(start, 0, func(k, v uint64) bool {
+		seen++
+		return seen < 7
+	})
+	if seen != 7 {
+		t.Fatalf("callback-stopped scan visited %d, want 7", seen)
+	}
+}
+
+func testScanEmpty(t *testing.T, f Factory) {
+	// An empty index scans nothing.
+	if g := collectScan(t, f(), 0, 0); len(g) != 0 {
+		t.Fatalf("empty index scan visited %d entries", len(g))
+	}
+	idx := f()
+	want := loadConformance(t, idx)
+	if max := want[len(want)-1]; max != ^uint64(0) {
+		if g := collectScan(t, idx, max+1, 10); len(g) != 0 {
+			t.Fatalf("past-the-end scan visited %v", g)
+		}
+	}
+}
+
+func testCursorMatchesScan(t *testing.T, f Factory) {
+	idx := f()
+	want := loadConformance(t, idx)
+	r := idx.(index.Ranger)
+	for _, buf := range []int{1, 3, 64, 1024} {
+		cur := r.Range(0)
+		got := collectCursor(t, cur, buf)
+		cur.Close()
+		if len(got) != len(want) {
+			t.Fatalf("buf %d: cursor yielded %d entries, want %d", buf, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("buf %d: cursor order broken at %d: %d != %d", buf, i, got[i], want[i])
+			}
+		}
+	}
+	// Mid-range start is inclusive, exactly like Scan.
+	mid := want[len(want)/2]
+	cur := r.Range(mid)
+	got := collectCursor(t, cur, 16)
+	cur.Close()
+	if len(got) == 0 || got[0] != mid {
+		t.Fatalf("cursor from %d started at %v, want inclusive start", mid, got[:min(len(got), 1)])
+	}
+}
+
+func testCursorResume(t *testing.T, f Factory) {
+	idx := f()
+	want := loadConformance(t, idx)
+	r := idx.(index.Ranger)
+	start := want[len(want)/5]
+	oneShot := collectScan(t, idx, start, 0)
+	// Resume after 1, after a partial buffer, and after several pulls:
+	// close the cursor mid-range and reopen at lastKey+1 — the
+	// concatenation must equal the one-shot scan. This is exactly the
+	// wire protocol's cursor-continuation contract.
+	for _, cut := range []int{1, 13, 200} {
+		if cut >= len(oneShot) {
+			continue
+		}
+		cur := r.Range(start)
+		keys := make([]uint64, cut)
+		vals := make([]uint64, cut)
+		var got []uint64
+		for len(got) < cut {
+			m := cur.Next(keys[:cut-len(got)], vals[:cut-len(got)])
+			if m == 0 {
+				break
+			}
+			got = append(got, keys[:m]...)
+		}
+		cur.Close()
+		if len(got) != cut {
+			t.Fatalf("cut %d: first leg yielded %d entries", cut, len(got))
+		}
+		last := got[len(got)-1]
+		if last == ^uint64(0) {
+			continue
+		}
+		cur = r.Range(last + 1)
+		got = append(got, collectCursor(t, cur, 64)...)
+		cur.Close()
+		if len(got) != len(oneShot) {
+			t.Fatalf("cut %d: resumed walk yielded %d entries, want %d", cut, len(got), len(oneShot))
+		}
+		for i := range got {
+			if got[i] != oneShot[i] {
+				t.Fatalf("cut %d: resumed walk diverged at %d: %d != %d", cut, i, got[i], oneShot[i])
+			}
+		}
+	}
+}
+
+func testCursorDesc(t *testing.T, f Factory) {
+	idx := f()
+	want := loadConformance(t, idx)
+	rr := idx.(index.ReverseRanger)
+	// From the maximum key: the exact reverse of the ascending walk.
+	cur := rr.RangeDesc(^uint64(0))
+	got := collectCursor(t, cur, 64)
+	cur.Close()
+	if len(got) != len(want) {
+		t.Fatalf("desc cursor yielded %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[len(want)-1-i] {
+			t.Fatalf("desc order broken at %d: %d != %d", i, got[i], want[len(want)-1-i])
+		}
+	}
+	// Start boundary: positions at the last entry with key <= start.
+	mid := want[len(want)/2]
+	cur = rr.RangeDesc(mid)
+	keys := make([]uint64, 1)
+	vals := make([]uint64, 1)
+	if m := cur.Next(keys, vals); m != 1 || keys[0] != mid {
+		t.Fatalf("desc cursor from %d started at %v (m=%d), want inclusive start", mid, keys[0], m)
+	}
+	cur.Close()
+	if next := want[len(want)/2+1]; next > mid+1 {
+		cur = rr.RangeDesc(mid + 1)
+		if m := cur.Next(keys, vals); m != 1 || keys[0] != mid {
+			t.Fatalf("desc cursor from gap %d started at %d, want predecessor %d", mid+1, keys[0], mid)
+		}
+		cur.Close()
+	}
+}

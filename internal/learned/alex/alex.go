@@ -20,6 +20,7 @@ package alex
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -732,6 +733,132 @@ func lastKey(d *dataNode) uint64 {
 		}
 	}
 	return 0
+}
+
+// firstKeyOf returns the smallest live key of a node, ok=false when the
+// node holds no live entries.
+func firstKeyOf(d *dataNode) (uint64, bool) {
+	for i := 0; i < d.g.Capacity(); i++ {
+		if d.g.Used[i] {
+			return d.g.Keys[i], true
+		}
+	}
+	return 0, false
+}
+
+// cursor streams the doubly linked data-node chain slot-sequentially.
+type cursor struct {
+	d    *dataNode
+	i    int
+	desc bool
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger: one model descent locates the data
+// node (backing up over the chain when the model lands ahead, exactly
+// like Scan), then the pooled cursor walks the gapped arrays.
+func (ix *Index) Range(start uint64) index.Cursor {
+	d := ix.descend(start)
+	for d.prev != nil && lastKey(d.prev) >= start {
+		d = d.prev
+	}
+	c := cursorPool.Get().(*cursor)
+	c.d, c.i, c.desc = d, 0, false
+	// Skip to the first live slot with key >= start; the descent can
+	// also land early, in which case leading in-node keys are below it.
+	for c.d != nil {
+		m := c.d.g.Capacity()
+		for c.i < m {
+			if c.d.g.Used[c.i] && c.d.g.Keys[c.i] >= start {
+				return c
+			}
+			c.i++
+		}
+		c.d, c.i = c.d.next, 0
+	}
+	return c
+}
+
+// RangeDesc implements index.ReverseRanger: the prev links make the
+// descending walk symmetric to Range.
+func (ix *Index) RangeDesc(start uint64) index.Cursor {
+	d := ix.descend(start)
+	// The descent can land on either side of the true position: move
+	// right while a later node still starts at or below start (empty
+	// nodes are stepped over), then the slot skip below walks left.
+	for d.next != nil {
+		k, ok := firstKeyOf(d.next)
+		if !ok || k <= start {
+			d = d.next
+			continue
+		}
+		break
+	}
+	c := cursorPool.Get().(*cursor)
+	c.d, c.i, c.desc = d, d.g.Capacity()-1, true
+	// Skip to the last live slot with key <= start.
+	for c.d != nil {
+		for c.i >= 0 {
+			if c.d.g.Used[c.i] && c.d.g.Keys[c.i] <= start {
+				return c
+			}
+			c.i--
+		}
+		c.d = c.d.prev
+		if c.d != nil {
+			c.i = c.d.g.Capacity() - 1
+		}
+	}
+	return c
+}
+
+// Next fills the destination slices from the data-node chain.
+//
+//pieces:hotpath
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	d, i := c.d, c.i
+	if c.desc {
+		for d != nil && n < len(keys) {
+			for i >= 0 && n < len(keys) {
+				if d.g.Used[i] {
+					keys[n] = d.g.Keys[i]
+					vals[n] = d.g.Values[i]
+					n++
+				}
+				i--
+			}
+			if i < 0 {
+				d = d.prev
+				if d != nil {
+					i = d.g.Capacity() - 1
+				}
+			}
+		}
+	} else {
+		for d != nil && n < len(keys) {
+			m := d.g.Capacity()
+			for i < m && n < len(keys) {
+				if d.g.Used[i] {
+					keys[n] = d.g.Keys[i]
+					vals[n] = d.g.Values[i]
+					n++
+				}
+				i++
+			}
+			if i >= m {
+				d, i = d.next, 0
+			}
+		}
+	}
+	c.d, c.i = d, i
+	return n
+}
+
+func (c *cursor) Close() {
+	c.d = nil
+	cursorPool.Put(c)
 }
 
 // AvgDepth returns the key-weighted average number of inner nodes on the

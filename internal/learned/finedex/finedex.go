@@ -573,6 +573,83 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 	}
 }
 
+// cursor resumes at a key: segments retrain and tables swap underneath
+// a long scan, so the key space is the only stable coordinate. It
+// caches one segment's merged snapshot (base shadowed by bins) and
+// refills — under the structure read lock, like Scan — when the cache
+// drains. Entries are emitted in strictly ascending key order.
+type cursor struct {
+	ix     *Index
+	key    uint64
+	done   bool
+	ck, cv []uint64
+	pos    int
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger. The cursor may re-snapshot between
+// Next calls (the index has concurrent writers) — the same
+// non-atomicity Scan has.
+func (ix *Index) Range(start uint64) index.Cursor {
+	c := cursorPool.Get().(*cursor)
+	c.ix, c.key, c.done = ix, start, false
+	c.ck, c.cv, c.pos = nil, nil, 0
+	return c
+}
+
+// Next fills the destination slices with the next live entries. Not
+// hotpath-marked: refills merge a segment's base with its bins, which
+// allocates — the price of consistency under concurrent writers.
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	for n < len(keys) && !c.done {
+		if c.pos >= len(c.ck) {
+			if !c.refill() {
+				c.done = true
+				break
+			}
+		}
+		for n < len(keys) && c.pos < len(c.ck) {
+			k := c.ck[c.pos]
+			keys[n], vals[n] = k, c.cv[c.pos]
+			c.pos++
+			n++
+			if k == ^uint64(0) {
+				c.done = true
+				break
+			}
+			c.key = k + 1
+		}
+	}
+	return n
+}
+
+// refill snapshots the next segment holding live entries >= c.key.
+func (c *cursor) refill() bool {
+	c.ix.structMu.RLock()
+	defer c.ix.structMu.RUnlock()
+	t := c.ix.tab.Load()
+	si := sort.Search(len(t.firsts), func(i int) bool { return t.firsts[i] > c.key })
+	if si > 0 {
+		si--
+	}
+	for ; si < len(t.segs); si++ {
+		keys, vals := t.segs[si].merged()
+		pos := search.LowerBound(keys, c.key, 0, len(keys))
+		if pos < len(keys) {
+			c.ck, c.cv, c.pos = keys, vals, pos
+			return true
+		}
+	}
+	return false
+}
+
+func (c *cursor) Close() {
+	c.ix, c.ck, c.cv = nil, nil, nil
+	cursorPool.Put(c)
+}
+
 // AvgDepth reports the segment locate plus the model stage.
 func (ix *Index) AvgDepth() float64 { return 2 }
 

@@ -13,6 +13,7 @@
 package fitting
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -612,6 +613,90 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 		}
 		return !stop
 	})
+}
+
+// cursor streams the FITing-tree leaf-sequentially: the inner B+tree's
+// own cursor yields segment ids in firstKey order (refilled in small
+// batches into fixed scratch), and each segment leaf is drained with a
+// two-pointer merge of its base array and sorted side buffer.
+type cursor struct {
+	ix    *Index
+	inner index.Cursor
+	l     *segLeaf
+	i, j  int
+	start uint64
+
+	idKeys [16]uint64
+	ids    [16]uint64
+	idN    int
+	idPos  int
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger: one Floor descent positions the inner
+// cursor at the covering segment, then the walk is leaf-sequential.
+// Same safety contract as Scan — no mutation while the cursor is open.
+func (ix *Index) Range(start uint64) index.Cursor {
+	from := uint64(0)
+	if k, _, ok := ix.inner.Floor(start); ok {
+		from = k
+	}
+	c := cursorPool.Get().(*cursor)
+	c.ix = ix
+	c.inner = ix.inner.Range(from)
+	c.l, c.i, c.j = nil, 0, 0
+	c.start = start
+	c.idN, c.idPos = 0, 0
+	return c
+}
+
+// Next fills the destination slices with the next entries in key order.
+// Not hotpath-marked: the segment-id source is reached through the
+// index.Cursor interface, which the call-graph analyzer cannot resolve
+// to its implementation; the walk itself allocates nothing.
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	for n < len(keys) {
+		if c.l == nil {
+			if c.idPos >= c.idN {
+				c.idN = c.inner.Next(c.idKeys[:], c.ids[:])
+				c.idPos = 0
+				if c.idN == 0 {
+					break
+				}
+			}
+			l := c.ix.leaves[c.ids[c.idPos]]
+			c.idPos++
+			c.l = l
+			// Lower-bounding every leaf on start (not just the first)
+			// also filters the leftmost leaf's buffered keys that precede
+			// its firstKey; for later leaves it resolves to 0 immediately.
+			c.i = search.LowerBound(l.keys, c.start, 0, len(l.keys))
+			c.j = search.LowerBound(l.bufK, c.start, 0, len(l.bufK))
+		}
+		l := c.l
+		for n < len(keys) && (c.i < len(l.keys) || c.j < len(l.bufK)) {
+			if c.j >= len(l.bufK) || (c.i < len(l.keys) && l.keys[c.i] < l.bufK[c.j]) {
+				keys[n], vals[n] = l.keys[c.i], l.vals[c.i]
+				c.i++
+			} else {
+				keys[n], vals[n] = l.bufK[c.j], l.bufV[c.j]
+				c.j++
+			}
+			n++
+		}
+		if c.i >= len(l.keys) && c.j >= len(l.bufK) {
+			c.l = nil
+		}
+	}
+	return n
+}
+
+func (c *cursor) Close() {
+	c.inner.Close()
+	c.ix, c.inner, c.l = nil, nil, nil
+	cursorPool.Put(c)
 }
 
 // AvgDepth reports the inner B+tree depth (Table II).

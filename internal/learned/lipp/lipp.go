@@ -16,6 +16,7 @@
 package lipp
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -415,6 +416,70 @@ func collectLimited(nd *node, limit int, count *int, fn func(k, v uint64) bool) 
 		}
 	}
 	return true
+}
+
+// frame is one level of a cursor's explicit walk stack.
+type frame struct {
+	nd *node
+	i  int
+}
+
+// cursor streams the tree through an explicit stack of (node, slot)
+// frames. Slot order equals key order (monotone models), so the
+// depth-first walk is the range; children are entered at their
+// predicted slot for the range start, which — by the same monotonicity
+// argument scanFrom relies on — prunes only keys below it. The stack
+// grows by append when the tree is deeper than the pooled capacity, so
+// this cursor is deliberately not hotpath-marked.
+type cursor struct {
+	stack []frame
+	start uint64
+}
+
+var cursorPool = sync.Pool{New: func() any {
+	return &cursor{stack: make([]frame, 0, 32)}
+}}
+
+// Range implements index.Ranger: the root is entered at its predicted
+// slot and the pooled cursor walks from there.
+func (ix *Index) Range(start uint64) index.Cursor {
+	c := cursorPool.Get().(*cursor)
+	c.stack = append(c.stack[:0], frame{ix.root, ix.root.slot(start)})
+	c.start = start
+	return c
+}
+
+// Next fills the destination slices with the next in-order entries.
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	for n < len(keys) && len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		if top.i >= len(top.nd.entries) {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		e := &top.nd.entries[top.i]
+		top.i++
+		switch e.kind {
+		case entryData:
+			if e.key >= c.start {
+				keys[n] = e.key
+				vals[n] = e.val
+				n++
+				// Everything after the first emitted key passes the
+				// filter; zero makes the comparison vacuous.
+				c.start = 0
+			}
+		case entryChild:
+			c.stack = append(c.stack, frame{e.child, e.child.slot(c.start)})
+		}
+	}
+	return n
+}
+
+func (c *cursor) Close() {
+	c.stack = c.stack[:0]
+	cursorPool.Put(c)
 }
 
 // AvgDepth returns the key-weighted average node-path length.

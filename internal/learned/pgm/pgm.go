@@ -563,6 +563,49 @@ func (ix *Index) Len() int {
 	return n
 }
 
+// lowerBound locates the first position with keys[pos] >= key via the
+// internal-level descent, falling back to a whole-array kernel search
+// when the eps window does not bracket an absent key's insertion point.
+func (s *Static) lowerBound(key uint64) int {
+	n := len(s.keys)
+	if n == 0 {
+		return 0
+	}
+	lo, hi := s.window(key)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	pos := search.LowerBound(s.keys, key, lo, hi)
+	if (pos == 0 || s.keys[pos-1] < key) && (pos == n || s.keys[pos] >= key) {
+		return pos
+	}
+	return search.LowerBound(s.keys, key, 0, n)
+}
+
+// Range implements index.Ranger: every layer is positioned once — the
+// runs through their model descent, the buffers through the shared
+// kernels — then the pooled merge cursor walks them with the same
+// newest-first shadowing as Scan.
+func (ix *Index) Range(start uint64) index.Cursor {
+	layers := make([]index.MergeLayer, 0, 2+len(ix.runs))
+	add := func(keys, vals []uint64, dead []bool, pos int) {
+		if pos < len(keys) {
+			layers = append(layers, index.MergeLayer{Keys: keys, Vals: vals, Dead: dead, Pos: pos})
+		}
+	}
+	add(ix.bufK, ix.bufV, ix.bufD, search.LowerBound(ix.bufK, start, 0, len(ix.bufK)))
+	add(ix.frozenK, ix.frozenV, ix.frozenD, search.LowerBound(ix.frozenK, start, 0, len(ix.frozenK)))
+	for _, r := range ix.runs {
+		if r != nil && len(r.keys) > 0 {
+			add(r.keys, r.vals, r.dead, r.lowerBound(start))
+		}
+	}
+	return index.NewMergeCursor(layers)
+}
+
 // Scan visits live entries with key >= start in order via a k-way merge
 // of the buffer and runs (newer layers shadow older ones; layers are
 // ordered newest first).

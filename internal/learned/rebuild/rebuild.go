@@ -430,6 +430,26 @@ func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 	}
 }
 
+// Range implements index.Ranger with a pooled merge cursor over the
+// same three layers Scan walks (buffer, frozen buffer, base arrays,
+// newest shadowing oldest). All three are flat sorted slices that stay
+// immutable while the single-writer contract holds, so the shared
+// merge cursor applies directly; positioning is one binary search per
+// layer.
+func (ix *Index) Range(start uint64) index.Cursor {
+	layers := make([]index.MergeLayer, 0, 3)
+	add := func(keys, vals []uint64, dead []bool) {
+		pos := search.LowerBound(keys, start, 0, len(keys))
+		if pos < len(keys) {
+			layers = append(layers, index.MergeLayer{Keys: keys, Vals: vals, Dead: dead, Pos: pos})
+		}
+	}
+	add(ix.bufK, ix.bufV, ix.bufD)
+	add(ix.frozenK, ix.frozenV, ix.frozenD)
+	add(ix.baseK, ix.baseV, nil)
+	return index.NewMergeCursor(layers)
+}
+
 // AvgDepth delegates to the inner index when it reports one.
 func (ix *Index) AvgDepth() float64 {
 	if d, ok := index.DepthOf(ix.inner); ok {

@@ -188,12 +188,43 @@ func (ix *Index) GetBatch(keys []uint64, vals []uint64, found []bool) {
 	}
 }
 
+// lowerBound locates the first position with keys[pos] >= key through
+// the radix-table + spline window when the key is in range, falling
+// back to a whole-array kernel search for out-of-range starts or when
+// the ±eps window does not bracket an absent key's insertion point.
+func (ix *Index) lowerBound(key uint64) int {
+	n := len(ix.keys)
+	if lo, hi, ok := ix.window(key); ok {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		pos := search.LowerBound(ix.keys, key, lo, hi)
+		if (pos == 0 || ix.keys[pos-1] < key) && (pos == n || ix.keys[pos] >= key) {
+			return pos
+		}
+	}
+	return search.LowerBound(ix.keys, key, 0, n)
+}
+
+// Range implements index.Ranger: one radix+spline descent locates the
+// lower bound, then the pooled cursor walks the flat sorted array.
+func (ix *Index) Range(start uint64) index.Cursor {
+	return index.NewSliceCursor(ix.keys, ix.vals, ix.lowerBound(start), false)
+}
+
+// RangeDesc implements index.ReverseRanger: the flat array walks
+// backward as cheaply as forward.
+func (ix *Index) RangeDesc(start uint64) index.Cursor {
+	pos := search.UpperBound(ix.keys, start, 0, len(ix.keys)) - 1
+	return index.NewSliceCursor(ix.keys, ix.vals, pos, true)
+}
+
 // Scan visits entries with key >= start in ascending order.
 func (ix *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
-	i, ok := ix.find(start)
-	if !ok {
-		i = sort.Search(len(ix.keys), func(j int) bool { return ix.keys[j] >= start })
-	}
+	i := ix.lowerBound(start)
 	count := 0
 	for ; i < len(ix.keys); i++ {
 		if n > 0 && count >= n {

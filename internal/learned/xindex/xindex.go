@@ -579,6 +579,73 @@ func snapshotGroup(g *group, start uint64, need int) []kv {
 	return out
 }
 
+// cursor resumes at a key rather than a position: groups split and
+// roots swap underneath a long scan, so the only stable coordinate is
+// the key space. Each Next re-resolves the covering group from the
+// current root and snapshots it under its read lock — the same
+// one-group-at-a-time consistency Scan offers.
+type cursor struct {
+	ix   *Index
+	key  uint64
+	done bool
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger. The cursor may re-snapshot between
+// Next calls (the index has concurrent writers); entries are still
+// emitted in strictly ascending key order with no duplicates.
+func (ix *Index) Range(start uint64) index.Cursor {
+	c := cursorPool.Get().(*cursor)
+	c.ix, c.key, c.done = ix, start, false
+	return c
+}
+
+// Next fills the destination slices with the next live entries. Not
+// hotpath-marked: the per-group snapshot allocates its merge result,
+// the price of staying consistent under concurrent writers.
+func (c *cursor) Next(keys, vals []uint64) int {
+	if c.done {
+		return 0
+	}
+	n := 0
+	r := c.ix.root.Load()
+	gi := groupIndex(r, c.key)
+	for n < len(keys) && gi < len(r.groups) {
+		g := r.groups[gi]
+		g.mu.RLock()
+		if g.retired {
+			g.mu.RUnlock()
+			r = c.ix.root.Load()
+			gi = groupIndex(r, c.key)
+			continue
+		}
+		entries := snapshotGroup(g, c.key, len(keys)-n)
+		g.mu.RUnlock()
+		for _, e := range entries {
+			keys[n], vals[n] = e.k, e.v
+			n++
+			if e.k == ^uint64(0) {
+				c.done = true
+				return n
+			}
+			c.key = e.k + 1
+		}
+		if n < len(keys) {
+			gi++
+		}
+	}
+	if n < len(keys) {
+		c.done = true
+	}
+	return n
+}
+
+func (c *cursor) Close() {
+	c.ix = nil
+	cursorPool.Put(c)
+}
+
 // AvgDepth reports the two root model stages (Table II).
 func (ix *Index) AvgDepth() float64 { return 2 }
 

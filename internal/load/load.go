@@ -47,9 +47,18 @@ type Config struct {
 	// (YCSB's scrambled Zipfian, theta 0.99 — the benchmark's default
 	// request model) or "uniform". Empty means uniform.
 	Dist string
-	// ReadFrac / UpdateFrac / InsertFrac select the mix; they are
-	// normalised, so 95/5/0 and 0.95/0.05/0 mean the same thing.
-	ReadFrac, UpdateFrac, InsertFrac float64
+	// ReadFrac / UpdateFrac / InsertFrac / ScanFrac select the mix;
+	// they are normalised, so 95/5/0 and 0.95/0.05/0 mean the same
+	// thing. ScanFrac > 0 issues short ranges through the wire
+	// protocol's cursor-continuation scan (YCSB-E's scan op): start key
+	// drawn per Dist, length per ScanLen/ScanLenDist.
+	ReadFrac, UpdateFrac, InsertFrac, ScanFrac float64
+	// ScanLen is the maximum range length (default 100, YCSB-E's).
+	ScanLen int
+	// ScanLenDist picks each range's length in [1, ScanLen]: "uniform"
+	// (YCSB-E's default) or "zipf" (mostly-short ranges with a heavy
+	// tail). Empty means uniform.
+	ScanLenDist string
 	// ValueSize is the written payload size (default 200, the paper's).
 	ValueSize int
 	// Rate > 0 switches to the open loop at that many ops/sec total.
@@ -63,24 +72,31 @@ type Config struct {
 
 // Result is one run's measurement, JSON-shaped for BENCH artifacts.
 type Result struct {
-	Label      string  `json:"label"`
-	Clients    int     `json:"clients"`
-	Conns      int     `json:"conns"`
-	Ops        int64   `json:"ops"`
-	Reads      int64   `json:"reads"`
-	Updates    int64   `json:"updates"`
-	Inserts    int64   `json:"inserts"`
-	Misses     int64   `json:"misses"`
-	Errors     int64   `json:"errors"`
-	Rejected   int64   `json:"rejected"` // backpressure rejections (retried)
-	Lost       int64   `json:"lost"`     // sent, never answered
-	Dup        int64   `json:"dup"`      // answered more than once (stray IDs)
-	OpenLag    int64   `json:"open_lag"` // open-loop ops fired behind schedule
-	DurationNs int64   `json:"duration_ns"`
-	Kops       float64 `json:"kops"`
-	P50Ns      int64   `json:"p50_ns"`
-	P99Ns      int64   `json:"p99_ns"`
-	MaxNs      int64   `json:"max_ns"`
+	Label       string `json:"label"`
+	Clients     int    `json:"clients"`
+	Conns       int    `json:"conns"`
+	Ops         int64  `json:"ops"`
+	Reads       int64  `json:"reads"`
+	Updates     int64  `json:"updates"`
+	Inserts     int64  `json:"inserts"`
+	Misses      int64  `json:"misses"`
+	Scans       int64  `json:"scans,omitempty"`
+	ScanEntries int64  `json:"scan_entries,omitempty"`
+	ScanChunks  int64  `json:"scan_chunks,omitempty"` // continuation frames used
+	// ScanViolations counts ranges whose reassembled stream broke the
+	// cursor invariant: a key out of ascending order or duplicated
+	// across chunk boundaries. Must be zero.
+	ScanViolations int64   `json:"scan_violations"`
+	Errors         int64   `json:"errors"`
+	Rejected       int64   `json:"rejected"` // backpressure rejections (retried)
+	Lost           int64   `json:"lost"`     // sent, never answered
+	Dup            int64   `json:"dup"`      // answered more than once (stray IDs)
+	OpenLag        int64   `json:"open_lag"` // open-loop ops fired behind schedule
+	DurationNs     int64   `json:"duration_ns"`
+	Kops           float64 `json:"kops"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	MaxNs          int64   `json:"max_ns"`
 }
 
 // Run executes one load run against a live server. The returned error
@@ -109,12 +125,24 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("load: Dist must be \"zipf\" or \"uniform\", got %q", cfg.Dist)
 	}
-	total := cfg.ReadFrac + cfg.UpdateFrac + cfg.InsertFrac
+	if cfg.ScanLen <= 0 {
+		cfg.ScanLen = 100
+	}
+	if cfg.ScanLen > wire.MaxScanLimit {
+		cfg.ScanLen = wire.MaxScanLimit
+	}
+	switch cfg.ScanLenDist {
+	case "", "uniform", "zipf":
+	default:
+		return Result{}, fmt.Errorf("load: ScanLenDist must be \"zipf\" or \"uniform\", got %q", cfg.ScanLenDist)
+	}
+	total := cfg.ReadFrac + cfg.UpdateFrac + cfg.InsertFrac + cfg.ScanFrac
 	if total <= 0 {
 		return Result{}, errors.New("load: operation mix sums to zero")
 	}
 	readCut := cfg.ReadFrac / total
 	updateCut := readCut + cfg.UpdateFrac/total
+	scanCut := updateCut + cfg.ScanFrac/total
 
 	pool, err := client.DialPool(cfg.Addr, cfg.Conns)
 	if err != nil {
@@ -131,6 +159,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		updates atomic.Int64
 		inserts atomic.Int64
 		misses  atomic.Int64
+		scans   atomic.Int64
+		scanEnt atomic.Int64
+		scanChk atomic.Int64
+		scanBad atomic.Int64
 		errs    atomic.Int64
 		rejects atomic.Int64
 		lag     atomic.Int64
@@ -168,6 +200,28 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 					return (zipf.Uint64()*0x9E3779B97F4A7C15)%cfg.Keyspace + 1
 				}
 				return rng.Uint64()%cfg.Keyspace + 1
+			}
+			// Range-start picks stay UNscrambled on zipf: YCSB-E's scans
+			// start at skewed positions but walk the key space in order,
+			// so the hot start keys must keep their key-order locality.
+			pickStart := func() uint64 {
+				if zipf != nil {
+					return zipf.Uint64()%cfg.Keyspace + 1
+				}
+				return rng.Uint64()%cfg.Keyspace + 1
+			}
+			var lenZipf *rand.Zipf
+			if cfg.ScanLenDist == "zipf" && cfg.ScanLen > 1 {
+				lenZipf = rand.NewZipf(rng, 1.5, 1, uint64(cfg.ScanLen-1))
+			}
+			pickLen := func() int {
+				if cfg.ScanLen <= 1 {
+					return 1
+				}
+				if lenZipf != nil {
+					return int(lenZipf.Uint64()) + 1
+				}
+				return rng.Intn(cfg.ScanLen) + 1
 			}
 			c := pool.Conn()
 			next := start
@@ -212,6 +266,39 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 					if err == nil {
 						updates.Add(1)
 					}
+				case p < scanCut:
+					// YCSB-E scan: zipf-skewed start, bounded length, streamed
+					// through the cursor-continuation protocol. The callback
+					// verifies the cursor invariant — strictly ascending keys
+					// with no duplicates across chunk boundaries — because a
+					// continuation bug shows up exactly there, not in kops.
+					var (
+						last     uint64
+						chunks   int64
+						entries  int64
+						violated bool
+						first    = true
+					)
+					err = c.RangeChunks(ctx, pickStart(), pickLen(), func(es []wire.Entry, _ bool) bool {
+						chunks++
+						for _, e := range es {
+							if !first && e.Key <= last {
+								violated = true
+							}
+							first = false
+							last = e.Key
+							entries++
+						}
+						return true
+					})
+					if err == nil {
+						scans.Add(1)
+						scanEnt.Add(entries)
+						scanChk.Add(chunks)
+						if violated {
+							scanBad.Add(1)
+						}
+					}
 				default:
 					err = c.Put(ctx, nextKey.Add(1), value)
 					if err == nil {
@@ -251,10 +338,14 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.Updates = updates.Load()
 	res.Inserts = inserts.Load()
 	res.Misses = misses.Load()
+	res.Scans = scans.Load()
+	res.ScanEntries = scanEnt.Load()
+	res.ScanChunks = scanChk.Load()
+	res.ScanViolations = scanBad.Load()
 	res.Errors = errs.Load()
 	res.Rejected = rejects.Load()
 	res.OpenLag = lag.Load()
-	res.Ops = res.Reads + res.Updates + res.Inserts
+	res.Ops = res.Reads + res.Updates + res.Inserts + res.Scans
 	res.Lost = sent.Load() - acked.Load()
 	res.Dup = pool.Strays()
 	if res.DurationNs > 0 {

@@ -564,9 +564,10 @@ func (c *conn) sendBuf(buf []byte, admitted int) {
 // wire.MaxFrame or the client's ReadFrame rejects it and the
 // connection is poisoned for every request in flight on it.
 const (
-	respHeaderBytes = 8 + 1
-	scanEntryBytes  = 8 + 4 // per-entry key + value-length prefix
-	mgValueBytes    = 4     // per-value length prefix
+	respHeaderBytes  = 8 + 1
+	scanEntryBytes   = 8 + 4 // per-entry key + value-length prefix
+	mgValueBytes     = 4     // per-value length prefix
+	rangeHeaderBytes = 1 + 8 // Range continuation header: more flag + resume key
 )
 
 // executeFrame runs one non-coalesced request and returns its encoded
@@ -660,6 +661,48 @@ func (s *Server) execute(req *wire.Request) *wire.Response {
 		if resp.Status = statusOf(err); resp.Status == wire.StatusOK {
 			resp.Entries = entries
 		}
+	case wire.OpRange:
+		// Cursor-continuation scan: one bounded chunk per frame plus a
+		// resume header. The server is stateless across frames — the
+		// client carries the cursor as (ResumeKey, remaining limit) — so
+		// a continuation costs nothing to hold open and survives the
+		// store retraining or compacting between frames.
+		if req.Limit == 0 || req.Limit > wire.MaxScanLimit {
+			resp.Status = wire.StatusBadRequest
+			break
+		}
+		chunk := int(req.Limit)
+		if chunk > wire.MaxRangeChunk {
+			chunk = wire.MaxRangeChunk
+		}
+		entries := make([]wire.Entry, 0, chunk)
+		truncated := false
+		body := respHeaderBytes + rangeHeaderBytes + 4
+		err := s.store.Scan(req.Key, chunk, func(k uint64, v []byte) bool {
+			if body+scanEntryBytes+len(v) > wire.MaxFrame {
+				truncated = true
+				return false
+			}
+			body += scanEntryBytes + len(v)
+			entries = append(entries, wire.Entry{Key: k, Value: v})
+			return true
+		})
+		if resp.Status = statusOf(err); resp.Status != wire.StatusOK {
+			break
+		}
+		resp.Cursor = true
+		resp.Entries = entries
+		resp.ResumeKey = req.Key
+		if n := len(entries); n > 0 {
+			last := entries[n-1].Key
+			// A full chunk (or a frame-budget stop) means the range may
+			// continue past the last delivered key — unless that key is
+			// the top of the key space, where there is nowhere to resume.
+			if (n == chunk || truncated) && last != ^uint64(0) {
+				resp.More = true
+				resp.ResumeKey = last + 1
+			}
+		}
 	case wire.OpStats:
 		resp.Value = s.statsSource()
 	case wire.OpDrain:
@@ -686,7 +729,8 @@ func writes(op wire.Op) bool {
 // reads reports whether op probes the index (and so must exclude
 // writers on indexes without concurrent-write support).
 func reads(op wire.Op) bool {
-	return op == wire.OpGet || op == wire.OpMultiGet || op == wire.OpScan
+	return op == wire.OpGet || op == wire.OpMultiGet ||
+		op == wire.OpScan || op == wire.OpRange
 }
 
 // statusOf maps the store's typed error sentinels to wire statuses —

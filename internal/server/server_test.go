@@ -620,3 +620,97 @@ func TestServerCoalesceToggle(t *testing.T) {
 		t.Fatal("refused toggle still enabled the gate")
 	}
 }
+
+// TestServerRangeCursorContinuation drives a range long enough to need
+// several continuation frames (limit > wire.MaxRangeChunk) and checks
+// the reassembled stream delivers every key exactly once, in order,
+// with zero stray responses — the wire-level cursor invariant.
+func TestServerRangeCursorContinuation(t *testing.T) {
+	_, store, addr := startServer(t, "xindex", Config{})
+	const n = 10_000 // needs ceil(10000/4096) = 3 chunks
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	if err := store.BulkPut(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+
+	chunks := 0
+	var got []uint64
+	err = c.RangeChunks(ctx, 1, n, func(entries []wire.Entry, more bool) bool {
+		chunks++
+		for _, e := range entries {
+			got = append(got, e.Key)
+		}
+		if more && len(entries) == 0 {
+			t.Fatal("empty chunk with more=true would spin forever")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	if chunks < 2 {
+		t.Fatalf("range of %d entries used %d frames, want multi-frame continuation", n, chunks)
+	}
+	if len(got) != n {
+		t.Fatalf("reassembled %d entries, want %d (lost or duplicated across frames)", len(got), n)
+	}
+	for i, k := range got {
+		if k != keys[i] {
+			t.Fatalf("entry %d = %d, want %d", i, k, keys[i])
+		}
+	}
+	if c.Strays() != 0 {
+		t.Fatalf("stray responses: %d", c.Strays())
+	}
+
+	// A deletion between frames must not resurrect or duplicate keys:
+	// delete mid-range, then scan across the hole.
+	for k := uint64(5000); k < 5100; k++ {
+		if _, err := store.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = got[:0]
+	if err := c.RangeChunks(ctx, 4000, 3000, func(entries []wire.Entry, _ bool) bool {
+		for _, e := range entries {
+			got = append(got, e.Key)
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("range over hole: %v", err)
+	}
+	if len(got) != 3000 {
+		t.Fatalf("got %d entries, want 3000 (limit counts delivered live entries)", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+		if got[i] >= 5000 && got[i] < 5100 {
+			t.Fatalf("deleted key %d delivered", got[i])
+		}
+	}
+}
+
+// TestServerRangeUnsupportedIndex checks the honest refusal: an index
+// without scan support answers StatusUnsupported, not garbage.
+func TestServerRangeUnsupportedIndex(t *testing.T) {
+	_, _, addr := startServer(t, "cceh", Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Range(context.Background(), 0, 100); !errors.Is(err, wire.ErrUnsupported) {
+		t.Fatalf("range on hash index: %v, want wire.ErrUnsupported", err)
+	}
+}

@@ -148,6 +148,7 @@ func (s *Index) Caps() index.Caps {
 		Bulk:             true, // per-shard bulk load with insert fallback
 		Upsert:           true, // check+insert under the shard writer role
 		Scan:             s.scannable,
+		Range:            s.scannable, // per-shard pulls via inner Ranger or Scan fallback
 		Delete:           inner.Delete,
 		Sized:            inner.Sized,
 		Depth:            inner.Depth,
@@ -449,6 +450,106 @@ func (s *Index) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 			count++
 		}
 	}
+}
+
+// cursor streams the sharded index in boundary order. Shards own
+// disjoint ascending key ranges, so the k-way merge of per-shard
+// cursors degenerates to concatenation: drain shard i, step to i+1.
+// Each Next pulls one batch from the current shard under the read
+// protocol — the inner cursor is opened at the resume key, drained
+// into the destination, and closed before the registration ends, so
+// it never aliases shard state across a writer's mutation window.
+type cursor struct {
+	s    *Index
+	si   int
+	key  uint64
+	done bool
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger. Like Scan, it visits nothing when the
+// inner index type cannot scan (Caps masks Range then).
+func (s *Index) Range(start uint64) index.Cursor {
+	if !s.scannable {
+		return index.NewSliceCursor(nil, nil, 0, false)
+	}
+	c := cursorPool.Get().(*cursor)
+	c.s = s
+	c.si = sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i] > start })
+	c.key = start
+	c.done = false
+	return c
+}
+
+// Next fills the destination slices with the next entries in global
+// key order. Not hotpath-marked: the per-shard pull goes through the
+// index.Cursor interface, which the call-graph analyzer cannot
+// resolve; the walk itself allocates nothing on the Ranger path.
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	for n < len(keys) && !c.done {
+		if c.si >= len(c.s.shards) {
+			c.done = true
+			break
+		}
+		got := c.fillFromShard(c.s.shards[c.si], uint64(c.si), keys[n:], vals[n:])
+		if got > 0 {
+			last := keys[n+got-1]
+			n += got
+			if last == ^uint64(0) {
+				c.done = true
+				break
+			}
+			c.key = last + 1
+		}
+		if n < len(keys) {
+			c.si++ // shard exhausted above the resume key
+		}
+	}
+	return n
+}
+
+// fillFromShard pulls up to len(keys) entries >= c.key from sh under
+// the optimistic read protocol (mutex fallback after retries), using
+// the inner index's own cursor when it has one and a bounded Scan
+// otherwise.
+func (c *cursor) fillFromShard(sh *shard, stripe uint64, keys, vals []uint64) int {
+	pull := func() int {
+		if rg, ok := sh.idx.(index.Ranger); ok {
+			cur := rg.Range(c.key)
+			n := cur.Next(keys, vals)
+			cur.Close()
+			return n
+		}
+		n := 0
+		sh.idx.(index.Scanner).Scan(c.key, len(keys), func(k, v uint64) bool {
+			keys[n], vals[n] = k, v
+			n++
+			return n < len(keys)
+		})
+		return n
+	}
+	epoch.ReadAttempt(stripe)
+	for try := 0; try < optimisticRetries; try++ {
+		if sh.beginRead() {
+			n := pull()
+			sh.endRead()
+			return n
+		}
+		epoch.ReadRetry(stripe)
+		runtime.Gosched()
+	}
+	epoch.ReadFallback(stripe)
+	sh.mu.Lock()
+	n := pull()
+	sh.mu.Unlock()
+	return n
+}
+
+func (c *cursor) Close() {
+	c.s = nil
+	cursorPool.Put(c)
 }
 
 // Sizes sums the shard footprints.

@@ -5,6 +5,8 @@
 package skiplist
 
 import (
+	"sync"
+
 	"learnedpieces/internal/index"
 )
 
@@ -147,6 +149,46 @@ func (l *List) Scan(start uint64, n int, fn func(key, value uint64) bool) {
 		count++
 		x = x.next[0]
 	}
+}
+
+// cursor streams the level-0 linked list from a positioned node. The
+// tower descent happens once in Range; every Next is a plain pointer
+// walk, which is exactly the access pattern the skiplist was built for.
+type cursor struct {
+	x *node
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursor) }}
+
+// Range implements index.Ranger: one findPrev descent positions at the
+// first node with key >= start, then Next follows next[0] links. The
+// cursor observes the list under the same contract as Scan — no
+// mutation while it is open.
+func (l *List) Range(start uint64) index.Cursor {
+	c := cursorPool.Get().(*cursor)
+	c.x = l.findPrev(start, nil)
+	return c
+}
+
+// Next fills the destination slices from the level-0 walk.
+//
+//pieces:hotpath
+func (c *cursor) Next(keys, vals []uint64) int {
+	n := 0
+	x := c.x
+	for n < len(keys) && x != nil {
+		keys[n] = x.key
+		vals[n] = x.val
+		x = x.next[0]
+		n++
+	}
+	c.x = x
+	return n
+}
+
+func (c *cursor) Close() {
+	c.x = nil
+	cursorPool.Put(c)
 }
 
 // BulkLoad inserts sorted keys; the skiplist has no special build path,

@@ -38,6 +38,16 @@ type StoreMetrics struct {
 	Tombstones    Counter
 	LiveKeys      Gauge
 
+	// Batched range-scan shape: batches pulled, entries they carried,
+	// batches whose index offsets were already ascending (so the offset
+	// sort was a no-op), epoch pin-yields between batches, and cursor
+	// reseeks forced by an index install racing a long scan.
+	ScanBatches   Counter
+	ScanEntries   Counter
+	ScanPresorted Counter
+	ScanPinYields Counter
+	ScanReseeks   Counter
+
 	Recovery   DurationMeter
 	Compaction DurationMeter
 	BulkLoad   DurationMeter
@@ -107,6 +117,40 @@ func (m *StoreMetrics) StartMultiGet(n int) Span {
 	}
 	m.MultiGetKeys.Add(int64(n))
 	return m.MultiGet.Start(uint64(n))
+}
+
+// ScanBatchPulled counts one cursor batch of n index entries, noting
+// whether its record offsets were already ascending.
+//
+//pieces:hotpath
+func (m *StoreMetrics) ScanBatchPulled(n int, presorted bool) {
+	if m == nil {
+		return
+	}
+	m.ScanBatches.Inc()
+	m.ScanEntries.Add(int64(n))
+	if presorted {
+		m.ScanPresorted.Inc()
+	}
+}
+
+// ScanPinYield counts an epoch pin released between scan batches.
+//
+//pieces:hotpath
+func (m *StoreMetrics) ScanPinYield() {
+	if m != nil {
+		m.ScanPinYields.Inc()
+	}
+}
+
+// ScanReseek counts a cursor reopened because the store view changed
+// across a pin-yield.
+//
+//pieces:hotpath
+func (m *StoreMetrics) ScanReseek() {
+	if m != nil {
+		m.ScanReseeks.Inc()
+	}
 }
 
 // GetMiss counts a Get that found no live record.

@@ -45,6 +45,20 @@ func (sn Snapshot) WriteText(w io.Writer) {
 	fmt.Fprintln(w)
 	ev.Render(w)
 
+	if sn.Store.ScanBatches > 0 {
+		sc := stats.NewTable("range scans (batched)", "metric", "value")
+		sc.AddRow("batches", sn.Store.ScanBatches)
+		sc.AddRow("entries", sn.Store.ScanEntries)
+		sc.AddRow("entries/batch", fmt.Sprintf("%.1f",
+			float64(sn.Store.ScanEntries)/float64(sn.Store.ScanBatches)))
+		sc.AddRow("offset-presorted ratio", fmt.Sprintf("%.3f",
+			float64(sn.Store.ScanPresorted)/float64(sn.Store.ScanBatches)))
+		sc.AddRow("pin yields", sn.Store.ScanPinYields)
+		sc.AddRow("cursor reseeks", sn.Store.ScanReseeks)
+		fmt.Fprintln(w)
+		sc.Render(w)
+	}
+
 	pm := stats.NewTable("simulated pmem", "metric", "value")
 	pm.AddRow("reads", sn.PMem.Reads)
 	pm.AddRow("writes", sn.PMem.Writes)
@@ -159,10 +173,10 @@ func (sn Snapshot) WriteText(w io.Writer) {
 }
 
 // capsString is the compact capability legend used in the index table:
-// one letter per capability (Bulk Scan Delete Upsert sIzed dePth
-// Retrain Async-retrain / concurrent r/w), '-' when absent.
+// one letter per capability (Bulk Scan Cursor-range/desc Delete Upsert
+// sIzed dePth Retrain Async-retrain / concurrent r/w), '-' when absent.
 func capsString(c index.Caps) string {
-	out := make([]byte, 0, 10)
+	out := make([]byte, 0, 12)
 	mark := func(on bool, ch byte) {
 		if on {
 			out = append(out, ch)
@@ -172,6 +186,8 @@ func capsString(c index.Caps) string {
 	}
 	mark(c.Bulk, 'B')
 	mark(c.Scan, 'S')
+	mark(c.Range, 'C')
+	mark(c.RangeDesc, 'c')
 	mark(c.Delete, 'D')
 	mark(c.Upsert, 'U')
 	mark(c.Sized, 'I')

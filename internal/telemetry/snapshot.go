@@ -42,6 +42,13 @@ type StoreSnapshot struct {
 	Tombstones    int64 `json:"tombstones"`
 	LiveKeys      int64 `json:"live_keys"`
 
+	// Batched range-scan shape (zero when no batched scan ever ran).
+	ScanBatches   int64 `json:"scan_batches"`
+	ScanEntries   int64 `json:"scan_entries"`
+	ScanPresorted int64 `json:"scan_presorted"`
+	ScanPinYields int64 `json:"scan_pin_yields"`
+	ScanReseeks   int64 `json:"scan_reseeks"`
+
 	Recovery   PhaseSnapshot `json:"recovery"`
 	Compaction PhaseSnapshot `json:"compaction"`
 	BulkLoad   PhaseSnapshot `json:"bulk_load"`
@@ -312,6 +319,11 @@ func (s *Sink) Snapshot() Snapshot {
 			PageRollovers: m.PageRollovers.Load(),
 			Tombstones:    m.Tombstones.Load(),
 			LiveKeys:      m.LiveKeys.Load(),
+			ScanBatches:   m.ScanBatches.Load(),
+			ScanEntries:   m.ScanEntries.Load(),
+			ScanPresorted: m.ScanPresorted.Load(),
+			ScanPinYields: m.ScanPinYields.Load(),
+			ScanReseeks:   m.ScanReseeks.Load(),
 			Recovery:      m.Recovery.snapshot(),
 			Compaction:    m.Compaction.snapshot(),
 			BulkLoad:      m.BulkLoad.snapshot(),

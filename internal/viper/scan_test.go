@@ -1,0 +1,221 @@
+package viper
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"learnedpieces/internal/btree"
+	"learnedpieces/internal/dataset"
+	"learnedpieces/internal/learned/alex"
+	"learnedpieces/internal/learned/pgm"
+	"learnedpieces/internal/pmem"
+	"learnedpieces/internal/telemetry"
+)
+
+// TestScanLimitIgnoresTombstones is the limit-semantics regression
+// test: the caller's n counts *delivered live* entries, so index
+// entries that resolve to tombstone records — the lingering shape a
+// raced delete can leave behind — must be skipped without consuming
+// the limit. The tombstone-pointing entries are constructed white-box
+// (append a delete marker, then point an index entry at it), which is
+// exactly the state the scan's defensive skip guards against.
+func TestScanLimitIgnoresTombstones(t *testing.T) {
+	for _, batch := range []int{1, 7, 0} { // legacy, multi-round, default
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			s := newStore(btree.New())
+			s.SetScanBatch(batch)
+			for k := uint64(0); k < 100; k += 2 {
+				if err := s.Put(k, value(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := uint64(1); k < 100; k += 2 {
+				off, err := s.appendRecord(k, nil, flagDeleted)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Index().Insert(k, uint64(off)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var got []uint64
+			err := s.Scan(0, 25, func(k uint64, v []byte) bool {
+				if !bytes.Equal(v, value(k)) {
+					t.Fatalf("value mismatch at %d", k)
+				}
+				got = append(got, k)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 25 {
+				t.Fatalf("delivered %d entries, want 25 (tombstones consumed the limit)", len(got))
+			}
+			for i, k := range got {
+				if k != uint64(2*i) {
+					t.Fatalf("entry %d = %d, want %d", i, k, 2*i)
+				}
+			}
+		})
+	}
+}
+
+// TestScanLimitWithInterleavedDeletes checks the public-path limit
+// semantics: deletes interleaved with scans never shrink what a
+// limited scan delivers as long as enough live keys remain.
+func TestScanLimitWithInterleavedDeletes(t *testing.T) {
+	s := newStore(btree.New())
+	keys := dataset.Generate(dataset.Sequential, 1000, 0)
+	for _, k := range keys {
+		if err := s.Put(k, value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		// Delete a stripe, then scan with a limit spanning it.
+		for i := round * 100; i < round*100+50; i++ {
+			if _, err := s.Delete(keys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []uint64
+		err := s.Scan(0, 200, func(k uint64, _ []byte) bool {
+			got = append(got, k)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 200 {
+			t.Fatalf("round %d: delivered %d entries, want 200", round, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("round %d: out of order at %d", round, i)
+			}
+		}
+		for _, k := range got {
+			if _, ok := s.Get(k); !ok {
+				t.Fatalf("round %d: scan delivered dead key %d", round, k)
+			}
+		}
+	}
+}
+
+// TestRangeBatchedMatchesLegacy runs the same scans through the
+// batched cursor path and the per-entry legacy path and requires
+// identical results, on indexes with different cursor shapes.
+func TestRangeBatchedMatchesLegacy(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *Store
+	}{
+		{"btree", func() *Store { return newStore(btree.New()) }},
+		{"pgm", func() *Store { return newStore(pgm.New(pgm.DefaultConfig())) }},
+		{"alex", func() *Store { return newStore(alex.New(alex.DefaultConfig())) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.mk()
+			keys := dataset.Generate(dataset.YCSBUniform, 4000, 7)
+			for _, k := range keys {
+				if err := s.Put(k, value(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Updates and deletes so the delta layers are populated and
+			// offsets are out of key order.
+			for i := 0; i < len(keys); i += 3 {
+				if err := s.Put(keys[i], value(keys[i]+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < len(keys); i += 5 {
+				if _, err := s.Delete(keys[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			collect := func(batch int, start uint64, n int) []uint64 {
+				s.SetScanBatch(batch)
+				var got []uint64
+				if err := s.Scan(start, n, func(k uint64, v []byte) bool {
+					if len(v) == 0 {
+						t.Fatalf("empty value at %d", k)
+					}
+					got = append(got, k)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return got
+			}
+			for _, win := range []struct {
+				start uint64
+				n     int
+			}{{0, 0}, {0, 100}, {keys[len(keys)/2], 250}, {^uint64(0), 10}} {
+				legacy := collect(1, win.start, win.n)
+				batched := collect(64, win.start, win.n)
+				if len(legacy) != len(batched) {
+					t.Fatalf("start=%d n=%d: legacy %d entries, batched %d",
+						win.start, win.n, len(legacy), len(batched))
+				}
+				for i := range legacy {
+					if legacy[i] != batched[i] {
+						t.Fatalf("start=%d n=%d: entry %d differs: %d vs %d",
+							win.start, win.n, i, legacy[i], batched[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRangeReseeksAcrossCompact drives a Compact from inside a scan
+// callback: at the next pin-yield the batched path must notice the
+// displaced view, reopen the cursor at the resume key against the new
+// index, and still deliver every key exactly once in order.
+func TestRangeReseeksAcrossCompact(t *testing.T) {
+	sink := telemetry.New()
+	s := Open(pmem.NewRegion(64<<20, pmem.None()), btree.New(), WithTelemetry(sink))
+	s.SetScanBatch(16)
+	keys := dataset.Generate(dataset.Sequential, 2000, 0)
+	for _, k := range keys {
+		if err := s.Put(k, value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compacted := false
+	var got []uint64
+	err := s.Scan(0, 0, func(k uint64, v []byte) bool {
+		if !bytes.Equal(v, value(k)) {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		if !compacted && len(got) == 100 {
+			compacted = true
+			if _, err := s.Compact(btree.New()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("delivered %d entries, want %d", len(got), len(keys))
+	}
+	for i, k := range got {
+		if k != keys[i] {
+			t.Fatalf("entry %d = %d, want %d", i, k, keys[i])
+		}
+	}
+	if n := s.met.ScanReseeks.Load(); n < 1 {
+		t.Fatalf("ScanReseeks = %d, want >= 1", n)
+	}
+	if n := s.met.ScanPinYields.Load(); n < 1 {
+		t.Fatalf("ScanPinYields = %d, want >= 1", n)
+	}
+}

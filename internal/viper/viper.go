@@ -94,6 +94,11 @@ type Store struct {
 	// (<= 1 routes every batch through the kernel, the default).
 	batchFloor atomic.Int32
 
+	// scanBatch is the number of index entries a batched range scan
+	// pulls per cursor round (0 = DefaultScanBatch; 1 disables batching
+	// and routes scans through the legacy per-entry path).
+	scanBatch atomic.Int32
+
 	cur     atomic.Pointer[page]
 	mu      sync.Mutex // page rollover, deletes, recovery
 	pages   []int64    // all page offsets, in allocation order
@@ -334,6 +339,37 @@ func (s *Store) SetBatchFloor(n int) {
 
 // BatchFloor reports the current MultiGet routing floor.
 func (s *Store) BatchFloor() int { return int(s.batchFloor.Load()) }
+
+// DefaultScanBatch is the index entries pulled per cursor round when
+// SetScanBatch has not overridden it. 256 entries ≈ 54KB of record
+// reads per round at the default value size — enough offset locality
+// to fill the simulated device's block buffer, short enough that the
+// per-round epoch pin never stalls Compact's reclamation for long.
+const DefaultScanBatch = 256
+
+// SetScanBatch sets how many index entries a range scan pulls from the
+// index cursor per round before touching PMem. Within one round the
+// record reads are issued in ascending offset order (the MultiGet
+// aggregation trick), so larger rounds buy more device-buffer
+// locality; each round runs under its own epoch pin. n == 1 disables
+// batching: scans walk the index's callback Scan seam entry-by-entry
+// (the pre-cursor behavior, kept for comparison). n <= 0 restores
+// DefaultScanBatch. The adapt controller raises the batch in scan
+// phases.
+func (s *Store) SetScanBatch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.scanBatch.Store(int32(n))
+}
+
+// ScanBatch reports the current range-scan batch size.
+func (s *Store) ScanBatch() int {
+	if n := int(s.scanBatch.Load()); n > 0 {
+		return n
+	}
+	return DefaultScanBatch
+}
 
 // PromoteHot resolves keys through the current index and publishes
 // them in the shadow cache. It is the controller-side half of the
@@ -817,30 +853,426 @@ func (s *Store) Delete(key uint64) (bool, error) {
 }
 
 // Scan visits live entries with key >= start in ascending key order,
-// reading each value from PMem. The index must support ordered scans
-// (CapsOf(idx).Scan, which folds in dynamic checks such as a sharded
-// wrapper's hash-layout refusal).
+// reading each value from PMem. n > 0 caps the number of entries
+// *delivered*: tombstoned records — deleted keys whose index entry
+// still lingers in a delta layer — never consume the caller's limit,
+// only the store can tell them apart. The index must support ordered
+// scans (CapsOf(idx).Scan, which folds in dynamic checks such as a
+// sharded wrapper's hash-layout refusal). Scan is Range under its
+// historical name.
 func (s *Store) Scan(start uint64, n int, fn func(key uint64, value []byte) bool) error {
+	return s.Range(start, n, fn)
+}
+
+// Range visits live entries with key >= start in ascending key order.
+// When the index exposes a streaming cursor (Caps.Range) and the scan
+// batch is > 1, it runs the batched fast path: pull a batch of index
+// entries per round, read their records in ascending PMem offset order
+// (the MultiGet aggregation trick — near-sequential header+value reads
+// maximise the simulated device's block-buffer hit rate), then re-emit
+// in key order. Each round runs under its own epoch pin, released
+// between rounds so a long scan never stalls Compact's deferred page
+// reclamation; if an index install races the scan across a yield, the
+// cursor is reopened from the new view at the next key (counted as a
+// reseek). Without a cursor — or with SetScanBatch(1) — entries stream
+// through the index's callback Scan seam one at a time.
+func (s *Store) Range(start uint64, n int, fn func(key uint64, value []byte) bool) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	sp := s.met.StartScan(stripe(start))
+	defer sp.Done()
+	if s.ScanBatch() > 1 {
+		return s.rangeBatched(start, n, fn)
+	}
+	return s.scanLegacy(start, n, fn)
+}
+
+// scanLegacy is the per-entry scan path: one index callback per entry,
+// records read in key (not offset) order. Kept both as the fallback
+// for cursor-less indexes and as the baseline the scan benchmark
+// compares against (SetScanBatch(1)).
+func (s *Store) scanLegacy(start uint64, n int, fn func(key uint64, value []byte) bool) error {
 	g := epoch.Enter(stripe(start))
 	defer g.Exit()
 	v := s.view.Load()
 	if v.seam.Scan == nil || !v.caps.Scan {
 		return fmt.Errorf("%w: index %s cannot scan", ErrUnsupported, v.idx.Name())
 	}
-	sp := s.met.StartScan(stripe(start))
-	defer sp.Done()
-	v.seam.Scan.Scan(start, n, func(k, off uint64) bool {
+	count := 0
+	// The index scan runs unbounded: only the store can see which
+	// offsets are tombstones, and those must not eat the caller's limit.
+	v.seam.Scan.Scan(start, 0, func(k, off uint64) bool {
 		hdr := s.region.ReadNoCopy(int64(off), recordHeader)
 		vlen := binary.LittleEndian.Uint32(hdr[8:12])
 		if hdr[12]&flagDeleted != 0 {
 			return true
 		}
-		return fn(k, s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen)))
+		if !fn(k, s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen))) {
+			return false
+		}
+		count++
+		return n <= 0 || count < n
 	})
 	return nil
+}
+
+// readLive resolves one record, nil for a tombstone. Caller holds an
+// epoch pin.
+//
+//pieces:hotpath
+func (s *Store) readLive(off uint64) []byte {
+	hdr := s.region.ReadNoCopy(int64(off), recordHeader)
+	if hdr[12]&flagDeleted != 0 {
+		return nil
+	}
+	vlen := binary.LittleEndian.Uint32(hdr[8:12])
+	return s.region.ReadNoCopy(int64(off)+recordHeader, int(vlen))
+}
+
+// scanScratch holds the batched scan's per-round working state; the
+// pool keeps steady-state rounds allocation-free.
+type scanScratch struct {
+	keys  []uint64
+	offs  []uint64
+	vals  [][]byte
+	order []int
+	pack  []uint64
+}
+
+var scanPool = sync.Pool{New: func() interface{} { return new(scanScratch) }}
+
+// maxScanBatch bounds a scan round so batch positions fit the packed
+// offset|position sort words (offset<<20 | position).
+const maxScanBatch = 1 << 20
+
+// spanBridge is the largest hole (in bytes) between two consecutive
+// offset-sorted records that a coalesced span read will cover rather
+// than splitting the span. On a block-granular device a cold record
+// access pays ~2 fresh 256-byte blocks (header + value straddle), so
+// bridging up to two blocks of stale bytes is never dearer than
+// breaking the sequential walk.
+const spanBridge = 512
+
+// sortByOffset fills ord with batch positions ordered by ascending
+// offs: insertion sort for small rounds, otherwise a packed-primitive
+// sort (offset<<20 | position) so pdqsort runs on a []uint64 without a
+// closure comparator in the comparison loop.
+func sortByOffset(offs []uint64, ord []int, pack []uint64) {
+	m := len(ord)
+	if m <= 32 {
+		for i := range ord {
+			ord[i] = i
+		}
+		for i := 1; i < m; i++ {
+			x := ord[i]
+			j := i - 1
+			for j >= 0 && offs[ord[j]] > offs[x] {
+				ord[j+1] = ord[j]
+				j--
+			}
+			ord[j+1] = x
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
+		pack[i] = offs[i]<<20 | uint64(i)
+	}
+	slices.Sort(pack[:m])
+	for i, p := range pack[:m] {
+		ord[i] = int(p & (maxScanBatch - 1))
+	}
+}
+
+// readLiveSpans resolves the round's records in ascending offset order
+// (ord holds batch positions sorted by offs) and writes each value —
+// nil for tombstones — back to its batch position in vals. Consecutive
+// offsets within spanBridge of one record's extent coalesce into a
+// single span read, so an offset-ordered round over a dense log region
+// costs one near-sequential device walk instead of two ReadNoCopy
+// calls per record; stale records inside a span are never parsed, just
+// skipped by offset arithmetic. Caller holds an epoch pin.
+//
+//pieces:hotpath
+func (s *Store) readLiveSpans(offs []uint64, ord []int, vals [][]byte) {
+	maxGap := uint64(recordHeader + s.valueSize + spanBridge)
+	size := uint64(s.region.Size())
+	m := len(ord)
+	for j := 0; j < m; {
+		runEnd := j + 1
+		for runEnd < m && offs[ord[runEnd]]-offs[ord[runEnd-1]] <= maxGap {
+			runEnd++
+		}
+		if runEnd-j < 2 {
+			vals[ord[j]] = s.readLive(offs[ord[j]])
+			j++
+			continue
+		}
+		first := offs[ord[j]]
+		spanLen := offs[ord[runEnd-1]] - first + uint64(recordHeader+s.valueSize)
+		if first+spanLen > size {
+			spanLen = size - first
+		}
+		span := s.region.ReadNoCopy(int64(first), int(spanLen))
+		for ; j < runEnd; j++ {
+			i := ord[j]
+			rel := offs[i] - first
+			if hdrEnd := rel + recordHeader; hdrEnd <= uint64(len(span)) {
+				if span[rel+12]&flagDeleted != 0 {
+					vals[i] = nil
+					continue
+				}
+				vlen := uint64(binary.LittleEndian.Uint32(span[rel+8 : rel+12]))
+				if end := hdrEnd + vlen; end <= uint64(len(span)) {
+					vals[i] = span[hdrEnd:end]
+					continue
+				}
+			}
+			// An oversized value or a span clamped at the region end:
+			// the straggler reads individually, over already-warm blocks.
+			vals[i] = s.readLive(offs[i])
+		}
+	}
+}
+
+// rangeBatched is the cursor fast path of Range; see Range for the
+// round structure and the pin-yield/reseek rules.
+func (s *Store) rangeBatched(start uint64, n int, fn func(key uint64, value []byte) bool) error {
+	batch := s.ScanBatch()
+	if batch > maxScanBatch {
+		batch = maxScanBatch
+	}
+	sc := scanPool.Get().(*scanScratch)
+	if cap(sc.keys) < batch {
+		sc.keys = make([]uint64, batch)
+		sc.offs = make([]uint64, batch)
+		sc.vals = make([][]byte, batch)
+		sc.order = make([]int, batch)
+		sc.pack = make([]uint64, batch)
+	}
+	keys, offs, vals, order := sc.keys[:batch], sc.offs[:batch], sc.vals[:batch], sc.order[:batch]
+	defer func() {
+		for i := range sc.vals {
+			sc.vals[i] = nil // drop region aliases before pooling
+		}
+		scanPool.Put(sc)
+	}()
+
+	// Each round holds its own epoch pin: Enter at the top, Exit before
+	// every way out — the pin-yield between rounds is the iteration
+	// boundary itself, so Compact's deferred frees proceed while a long
+	// scan runs.
+	var v *storeView
+	var cur index.Cursor
+	from := start
+	count := 0
+	for {
+		g := epoch.Enter(stripe(from))
+		if v2 := s.view.Load(); cur == nil || v2 != v {
+			if cur != nil {
+				// An install (Compact, Recover, DropIndex) displaced the
+				// view while the pin was down: the cursor walks retired
+				// structures and its remaining offsets may be remapped.
+				// Reopen at the next key against the new view.
+				cur.Close()
+				s.met.ScanReseek()
+			}
+			v = v2
+			if v.seam.Range == nil || !v.caps.Range {
+				g.Exit()
+				rem := 0
+				if n > 0 {
+					rem = n - count
+				}
+				return s.scanLegacy(from, rem, fn)
+			}
+			cur = v.seam.Range.Range(from)
+		}
+		// Clamp the pull to the caller's remaining limit: a scan of 10
+		// must not read a full batch of records from PMem. Tombstones in
+		// the pull don't count as delivered, so a later round tops up.
+		pull := batch
+		if n > 0 {
+			if rem := n - count; rem < pull {
+				pull = rem
+			}
+		}
+		m := cur.Next(keys[:pull], offs[:pull])
+		if m == 0 {
+			cur.Close()
+			g.Exit()
+			return nil
+		}
+		// Issue the record reads in ascending offset order. Freshly
+		// bulk-loaded stores are already offset-ordered (appends followed
+		// key order), so detect that and skip the sort — the telemetry
+		// ratio shows how much reordering the workload's updates caused.
+		presorted := true
+		for i := 1; i < m; i++ {
+			if offs[i] < offs[i-1] {
+				presorted = false
+				break
+			}
+		}
+		s.met.ScanBatchPulled(m, presorted)
+		ord := order[:m]
+		if presorted {
+			for i := range ord {
+				ord[i] = i
+			}
+		} else {
+			sortByOffset(offs[:m], ord, sc.pack)
+		}
+		s.readLiveSpans(offs[:m], ord, vals)
+		// Re-emit in key order; tombstones never consume the limit.
+		for i := 0; i < m; i++ {
+			if vals[i] == nil {
+				continue
+			}
+			if !fn(keys[i], vals[i]) {
+				cur.Close()
+				g.Exit()
+				return nil
+			}
+			count++
+			if n > 0 && count >= n {
+				cur.Close()
+				g.Exit()
+				return nil
+			}
+		}
+		last := keys[m-1]
+		if m < pull || last == ^uint64(0) {
+			cur.Close()
+			g.Exit()
+			return nil
+		}
+		from = last + 1
+		g.Exit()
+		s.met.ScanPinYield()
+	}
+}
+
+// RangeDesc visits live entries with key <= start in descending key
+// order, under the same batched round structure as Range: pull a batch
+// of index entries, read records in ascending PMem offset order, re-emit
+// in (descending) key order, pin-yield between rounds. Only indexes
+// whose layout permits reverse iteration expose it (Caps.RangeDesc);
+// there is no per-entry fallback, so unsupported indexes return
+// ErrUnsupported. start == ^uint64(0) scans from the maximum key.
+func (s *Store) RangeDesc(start uint64, n int, fn func(key uint64, value []byte) bool) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	sp := s.met.StartScan(stripe(start))
+	defer sp.Done()
+
+	batch := s.ScanBatch()
+	if batch < 2 {
+		batch = DefaultScanBatch
+	}
+	if batch > maxScanBatch {
+		batch = maxScanBatch
+	}
+	sc := scanPool.Get().(*scanScratch)
+	if cap(sc.keys) < batch {
+		sc.keys = make([]uint64, batch)
+		sc.offs = make([]uint64, batch)
+		sc.vals = make([][]byte, batch)
+		sc.order = make([]int, batch)
+		sc.pack = make([]uint64, batch)
+	}
+	keys, offs, vals := sc.keys[:batch], sc.offs[:batch], sc.vals[:batch]
+	defer func() {
+		for i := range sc.vals {
+			sc.vals[i] = nil // drop region aliases before pooling
+		}
+		scanPool.Put(sc)
+	}()
+
+	// Same per-round pin scoping as the forward path: Enter at the top
+	// of each round, Exit on every way out, yield at the iteration
+	// boundary.
+	var v *storeView
+	var cur index.Cursor
+	from := start
+	count := 0
+	for {
+		g := epoch.Enter(stripe(from))
+		if v2 := s.view.Load(); cur == nil || v2 != v {
+			if cur != nil {
+				// View displaced while the pin was down: the cursor walks
+				// retired structures. Reopen against the new view.
+				cur.Close()
+				s.met.ScanReseek()
+			}
+			v = v2
+			if v.seam.RangeDesc == nil || !v.caps.RangeDesc {
+				g.Exit()
+				return fmt.Errorf("%w: index %s cannot scan descending", ErrUnsupported, v.idx.Name())
+			}
+			cur = v.seam.RangeDesc.RangeDesc(from)
+		}
+		// Same pull clamp as the forward path: never read more records
+		// than the caller's remaining limit can deliver.
+		pull := batch
+		if n > 0 {
+			if rem := n - count; rem < pull {
+				pull = rem
+			}
+		}
+		m := cur.Next(keys[:pull], offs[:pull])
+		if m == 0 {
+			cur.Close()
+			g.Exit()
+			return nil
+		}
+		// Descending batches arrive in reverse key order, so offsets of a
+		// freshly bulk-loaded store are exactly backwards — never presorted
+		// ascending. The offset sort is the whole point here.
+		presorted := true
+		for i := 1; i < m; i++ {
+			if offs[i] < offs[i-1] {
+				presorted = false
+				break
+			}
+		}
+		s.met.ScanBatchPulled(m, presorted)
+		ord := sc.order[:m]
+		if presorted {
+			for i := range ord {
+				ord[i] = i
+			}
+		} else {
+			sortByOffset(offs[:m], ord, sc.pack)
+		}
+		s.readLiveSpans(offs[:m], ord, vals)
+		for i := 0; i < m; i++ {
+			if vals[i] == nil {
+				continue
+			}
+			if !fn(keys[i], vals[i]) {
+				cur.Close()
+				g.Exit()
+				return nil
+			}
+			count++
+			if n > 0 && count >= n {
+				cur.Close()
+				g.Exit()
+				return nil
+			}
+		}
+		last := keys[m-1]
+		if m < pull || last == 0 {
+			cur.Close()
+			g.Exit()
+			return nil
+		}
+		from = last - 1
+		g.Exit()
+		s.met.ScanPinYield()
+	}
 }
 
 // bulkMinPerWorker is the smallest record batch worth a goroutine in the

@@ -41,8 +41,16 @@ const (
 	MaxValue = 1 << 20
 	// MaxKeys is the largest MultiGet batch.
 	MaxKeys = 4096
-	// MaxScanLimit is the largest Scan entry count.
+	// MaxScanLimit is the largest Scan entry count. It also bounds the
+	// total a Range cursor delivers across its continuation frames.
 	MaxScanLimit = 65536
+	// MaxRangeChunk is the most entries one Range response frame
+	// carries; a longer range continues in follow-up requests resuming
+	// at the frame's ResumeKey. Far below what MaxFrame could hold at
+	// default value sizes — the cap exists to bound how long one frame
+	// monopolises the connection (and the store's epoch pin), not to
+	// protect the frame budget (which is still enforced by byte count).
+	MaxRangeChunk = 4096
 	// MaxFrame is the largest frame body (ID + op + payload) either side
 	// accepts. Sized for a MultiGet response of MaxKeys records at the
 	// store's default 200-byte values, with headroom for a few large
@@ -68,6 +76,12 @@ const (
 	// coalescer at runtime (Key: 0 = off, nonzero = on) — the adapt
 	// controller's remote knob.
 	OpCoalesce
+	// OpRange is the cursor-continuation scan: the server answers with
+	// at most MaxRangeChunk entries plus a continuation header (More,
+	// ResumeKey); the client resumes the range by issuing another
+	// OpRange starting at ResumeKey. Unlike OpScan, one logical range
+	// can span many frames without any frame nearing MaxFrame.
+	OpRange
 	opMax // sentinel: first invalid op
 )
 
@@ -90,6 +104,8 @@ func (o Op) String() string {
 		return "drain"
 	case OpCoalesce:
 		return "coalesce"
+	case OpRange:
+		return "range"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -193,6 +209,7 @@ var (
 //	OpDelete   Key
 //	OpMultiGet Keys
 //	OpScan     Key (start), Limit (1..MaxScanLimit; 0 is invalid)
+//	OpRange    Key (start), Limit (remaining entries wanted, 1..MaxScanLimit)
 //	OpStats    —
 //	OpDrain    —
 //	OpCoalesce Key (0 = off, nonzero = on)
@@ -217,6 +234,7 @@ type Entry struct {
 //	Delete    Existed
 //	MultiGet  Values (nil element = key absent)
 //	Scan      Entries
+//	Range     Entries, Cursor (true), More, ResumeKey
 //	Stats     Value (JSON snapshot bytes)
 //	Put/Drain —
 type Response struct {
@@ -226,6 +244,15 @@ type Response struct {
 	Values  [][]byte
 	Entries []Entry
 	Existed bool
+
+	// Cursor marks a Range response: the payload carries a
+	// continuation header (More + ResumeKey) ahead of the entries.
+	// More reports that the range may continue; ResumeKey is where the
+	// next OpRange request should start (exclusive of everything this
+	// frame delivered).
+	Cursor    bool
+	More      bool
+	ResumeKey uint64
 }
 
 // absentValue marks a missing key in a MultiGet response (a present
@@ -268,7 +295,7 @@ func AppendRequest(dst []byte, r *Request) []byte {
 			for _, k := range r.Keys {
 				b = appendU64(b, k)
 			}
-		case OpScan:
+		case OpScan, OpRange:
 			b = appendU64(b, r.Key)
 			b = appendU32(b, r.Limit)
 		}
@@ -285,6 +312,19 @@ func AppendResponse(dst []byte, r *Response) []byte {
 		b = appendU64(b, r.ID)
 		b = append(b, byte(r.Status))
 		switch {
+		case r.Cursor:
+			if r.More {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendU64(b, r.ResumeKey)
+			b = appendU32(b, uint32(len(r.Entries)))
+			for _, e := range r.Entries {
+				b = appendU64(b, e.Key)
+				b = appendU32(b, uint32(len(e.Value)))
+				b = append(b, e.Value...)
+			}
 		case r.Values != nil:
 			b = appendU32(b, uint32(len(r.Values)))
 			for _, v := range r.Values {
@@ -454,7 +494,7 @@ func DecodeRequest(b []byte) (Request, error) {
 		for i := range r.Keys {
 			r.Keys[i], _ = c.u64()
 		}
-	case OpScan:
+	case OpScan, OpRange:
 		if r.Key, err = c.u64(); err != nil {
 			return Request{}, err
 		}
@@ -463,7 +503,9 @@ func DecodeRequest(b []byte) (Request, error) {
 		}
 		// Zero is rejected, not "unlimited": an unbounded scan would let
 		// one 21-byte frame snapshot the whole store and build a
-		// response past MaxFrame.
+		// response past MaxFrame. For OpRange the same cap bounds the
+		// total across continuation frames, so one cursor cannot be
+		// asked to stream the whole store either.
 		if r.Limit == 0 || r.Limit > MaxScanLimit {
 			return Request{}, fmt.Errorf("%w: scan limit %d", ErrBadPayload, r.Limit)
 		}
@@ -547,12 +589,23 @@ func DecodeResponse(op Op, b []byte) (Response, error) {
 				return Response{}, err
 			}
 		}
-	case OpScan:
+	case OpScan, OpRange:
+		if op == OpRange {
+			r.Cursor = true
+			more, err := c.u8()
+			if err != nil {
+				return Response{}, err
+			}
+			r.More = more != 0
+			if r.ResumeKey, err = c.u64(); err != nil {
+				return Response{}, err
+			}
+		}
 		n, err := c.u32()
 		if err != nil {
 			return Response{}, err
 		}
-		if n > MaxScanLimit {
+		if n > MaxScanLimit || (op == OpRange && n > MaxRangeChunk) {
 			return Response{}, fmt.Errorf("%w: %d entries", ErrBadPayload, n)
 		}
 		// Pre-size conservatively: each entry needs at least 12 bytes, so

@@ -37,6 +37,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 9, Op: OpDrain},
 		{ID: 10, Op: OpCoalesce, Key: 1}, // admin toggle on
 		{ID: 11, Op: OpCoalesce, Key: 0}, // admin toggle off
+		{ID: 12, Op: OpRange, Key: 500, Limit: MaxScanLimit},
+		{ID: 13, Op: OpRange, Key: 0, Limit: 1},
 	}
 	for _, want := range cases {
 		t.Run(want.Op.String(), func(t *testing.T) {
@@ -84,6 +86,14 @@ func TestResponseRoundTrip(t *testing.T) {
 		{"closed", OpPut, Response{ID: 15, Status: StatusClosed}},
 		{"coalesce-ok", OpCoalesce, Response{ID: 16, Status: StatusOK}},
 		{"coalesce-unsupported", OpCoalesce, Response{ID: 17, Status: StatusUnsupported}},
+		{"range-more", OpRange, Response{ID: 18, Status: StatusOK, Cursor: true,
+			More: true, ResumeKey: 3,
+			Entries: []Entry{{Key: 1, Value: []byte("x")}, {Key: 2, Value: []byte("yy")}}}},
+		{"range-done", OpRange, Response{ID: 19, Status: StatusOK, Cursor: true,
+			ResumeKey: 9, Entries: []Entry{{Key: 8, Value: []byte("z")}}}},
+		{"range-empty", OpRange, Response{ID: 20, Status: StatusOK, Cursor: true,
+			ResumeKey: 100, Entries: []Entry{}}},
+		{"range-unsupported", OpRange, Response{ID: 21, Status: StatusUnsupported}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -198,6 +208,16 @@ func TestDecodeRequestHostile(t *testing.T) {
 			b = binary.BigEndian.AppendUint64(b, 1)
 			return binary.BigEndian.AppendUint32(b, 0)
 		}(), ErrBadPayload},
+		{"range-zero-limit", func() []byte {
+			b := append(make([]byte, 8), byte(OpRange))
+			b = binary.BigEndian.AppendUint64(b, 1)
+			return binary.BigEndian.AppendUint32(b, 0)
+		}(), ErrBadPayload},
+		{"range-over-limit", func() []byte {
+			b := append(make([]byte, 8), byte(OpRange))
+			b = binary.BigEndian.AppendUint64(b, 1)
+			return binary.BigEndian.AppendUint32(b, MaxScanLimit+1)
+		}(), ErrBadPayload},
 		{"stats-trailing-garbage", append(mk(Request{Op: OpStats}), 0xAA), ErrBadPayload},
 		{"drain-trailing-garbage", append(mk(Request{Op: OpDrain}), 1, 2, 3), ErrBadPayload},
 	}
@@ -237,6 +257,15 @@ func TestDecodeResponseHostile(t *testing.T) {
 		}(), ErrTruncated},
 		{"delete-trailing-garbage", OpDelete,
 			append(append(make([]byte, 8), byte(StatusOK)), 1, 0xFF), ErrBadPayload},
+		{"range-cut-header", OpRange,
+			append(make([]byte, 8), byte(StatusOK), 1), ErrTruncated},
+		{"range-over-chunk", OpRange, func() []byte {
+			// A Range frame promising more entries than MaxRangeChunk is
+			// malformed even though the same count is legal for OpScan.
+			b := append(make([]byte, 8), byte(StatusOK), 0)
+			b = binary.BigEndian.AppendUint64(b, 1)
+			return binary.BigEndian.AppendUint32(b, MaxRangeChunk+1)
+		}(), ErrBadPayload},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
